@@ -1,0 +1,178 @@
+// Package daosim's root benchmarks regenerate every figure of the paper's
+// evaluation section plus the DESIGN.md ablations through testing.B. Each
+// benchmark runs the corresponding study at Quick scale (CI-sized sweep)
+// and reports the headline bandwidths as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. Use cmd/figures for the full-scale
+// node sweep and the claim checks.
+package daosim_test
+
+import (
+	"strings"
+	"testing"
+
+	"daosim/internal/bench"
+	"daosim/internal/core"
+)
+
+// reportStudy publishes a study's peak-point bandwidths as benchmark
+// metrics (GiB/s at the largest node count, per series).
+func reportStudy(b *testing.B, st *core.Study) {
+	b.Helper()
+	for _, s := range st.Series {
+		last := s.Points[len(s.Points)-1]
+		label := metricLabel(s.Variant.Label)
+		b.ReportMetric(last.WriteGiBs, label+"_w_GiB/s")
+		b.ReportMetric(last.ReadGiBs, label+"_r_GiB/s")
+	}
+}
+
+// metricLabel makes a series label safe for testing.B metric units (no
+// whitespace).
+func metricLabel(label string) string {
+	r := strings.NewReplacer(" ", "_", "(", "", ")", "")
+	return r.Replace(label)
+}
+
+// BenchmarkFigure1Read and the companions below each regenerate one panel.
+// The underlying study measures both phases at once; the per-panel split
+// mirrors the paper's (a)/(b) sub-figures.
+
+func BenchmarkFigure1Read(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, err := bench.Figure1(bench.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportStudy(b, st)
+		}
+	}
+}
+
+func BenchmarkFigure1Write(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, err := bench.Figure1(bench.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := st.Config.Nodes[len(st.Config.Nodes)-1]
+			_ = last
+			reportStudy(b, st)
+		}
+	}
+}
+
+func BenchmarkFigure2Read(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, err := bench.Figure2(bench.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportStudy(b, st)
+		}
+	}
+}
+
+func BenchmarkFigure2Write(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, err := bench.Figure2(bench.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportStudy(b, st)
+		}
+	}
+}
+
+func BenchmarkAblationObjectClass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, err := bench.AblationObjectClass(bench.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportStudy(b, st)
+		}
+	}
+}
+
+func BenchmarkAblationTransferSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.AblationTransferSize(bench.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, pt := range pts {
+				b.ReportMetric(pt.WriteGiBs, "w_GiB/s@"+sizeLabel(pt.Transfer))
+			}
+		}
+	}
+}
+
+func BenchmarkAblationFuseOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, err := bench.AblationFuseOverhead(bench.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportStudy(b, st)
+		}
+	}
+}
+
+func BenchmarkAblationCollective(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, err := bench.AblationCollective(bench.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportStudy(b, st)
+		}
+	}
+}
+
+func BenchmarkFutureNativeArray(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.FutureNativeArray(bench.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := pts[len(pts)-1]
+			b.ReportMetric(last.NativeWriteGiBs, "native_w_GiB/s")
+			b.ReportMetric(last.DFSWriteGiBs, "dfs_w_GiB/s")
+		}
+	}
+}
+
+func sizeLabel(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return itoa(n>>20) + "MiB"
+	default:
+		return itoa(n>>10) + "KiB"
+	}
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,133 @@
+// Command daosctl is an administrative walkthrough CLI in the style of the
+// dmg/daos tools: it boots the simulated cluster and executes a small
+// scripted session — pool and container management, filesystem operations
+// through DFS, a failure injection with layout remap — printing each step.
+//
+//	daosctl            # run the default session
+//	daosctl -failures  # include the engine-exclusion scenario
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"daosim/internal/cluster"
+	"daosim/internal/daos"
+	"daosim/internal/dfs"
+	"daosim/internal/placement"
+	"daosim/internal/sim"
+	"daosim/internal/svc"
+)
+
+func main() {
+	failures := flag.Bool("failures", false, "include the engine failure scenario")
+	flag.Parse()
+
+	tb := cluster.New(cluster.NEXTGenIO())
+	defer tb.Shutdown()
+	client := tb.NewClient(tb.ClientNode(0), 1)
+
+	tb.Run(func(p *sim.Proc) {
+		step := stepper{}
+
+		step.do("dmg pool create --label tank (16 engines, 24 TiB SCM)")
+		pool, err := client.CreatePool(p, "tank")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("      UUID %s, %d engines\n", pool.Info.UUID, len(pool.Info.Targets))
+
+		step.do("daos container create tank/home --type POSIX --oclass S2")
+		ct, err := pool.CreateContainer(p, "home", daos.ContProps{Class: placement.S2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("      UUID %s\n", ct.UUID)
+
+		step.do("daos pool set-attr tank owner epcc")
+		admin := svc.NewClient(tb.Service, tb.ClientNode(0))
+		if _, err := admin.Execute(p, svc.Command{Op: svc.OpSetAttr, Pool: "tank", Key: "owner", Value: "epcc"}); err != nil {
+			log.Fatal(err)
+		}
+
+		step.do("mount DFS and populate a namespace")
+		fsys, err := dfs.Mount(p, ct)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, dir := range []string{"/projects/climate", "/projects/astro", "/scratch"} {
+			if err := fsys.MkdirAll(p, dir); err != nil {
+				log.Fatal(err)
+			}
+		}
+		f, err := fsys.Create(p, "/projects/climate/era5.grib", dfs.CreateOpts{Class: placement.SX})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.WriteAt(p, 0, make([]byte, 8<<20)); err != nil {
+			log.Fatal(err)
+		}
+
+		step.do("ls -l /projects")
+		infos, err := fsys.ReadDir(p, "/projects")
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, info := range infos {
+			kind := "d"
+			if info.Type == dfs.TypeFile {
+				kind = "-"
+			}
+			fmt.Printf("      %s %-12s\n", kind, info.Name)
+		}
+
+		step.do("stat /projects/climate/era5.grib")
+		info, err := fsys.Stat(p, "/projects/climate/era5.grib")
+		if err != nil {
+			log.Fatal(err)
+		}
+		cls, _ := placement.LookupClass(info.Class)
+		fmt.Printf("      size %d bytes, class %s, chunk %d KiB\n", info.Size, cls.Name, info.Chunk>>10)
+
+		if *failures {
+			step.do("failure injection: exclude engine 3")
+			tb.ExcludeEngine(3)
+			fmt.Printf("      pool map version now %d, %d targets up\n",
+				tb.PoolMap().Version, len(tb.PoolMap().UpTargets()))
+
+			step.do("write through the degraded map (layouts recompute)")
+			g, err := fsys.Create(p, "/scratch/degraded.dat", dfs.CreateOpts{Class: placement.S2})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := g.WriteAt(p, 0, make([]byte, 1<<20)); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("      write landed on live targets only")
+
+			step.do("reintegrate engine 3")
+			tb.ReintegrateEngine(3)
+			fmt.Printf("      pool map version now %d, %d targets up\n",
+				tb.PoolMap().Version, len(tb.PoolMap().UpTargets()))
+		}
+
+		step.do("daos container list tank")
+		res, err := admin.Execute(p, svc.Command{Op: svc.OpListConts, Pool: "tank"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, name := range res.List {
+			fmt.Printf("      %s\n", name)
+		}
+
+		fmt.Printf("\nsession complete at virtual time %v\n", p.Now())
+	})
+}
+
+type stepper struct{ n int }
+
+func (s *stepper) do(what string) {
+	s.n++
+	fmt.Printf("\n[%02d] %s\n", s.n, what)
+}

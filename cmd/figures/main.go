@@ -1,0 +1,122 @@
+// Command figures regenerates every figure in the paper's evaluation
+// section (Fig. 1 file-per-process and Fig. 2 shared-file, read and write
+// panels), runs the machine-checked versions of the paper's qualitative
+// claims, and optionally runs the ablation experiments from DESIGN.md.
+//
+//	figures                 # both figures, full node sweep, claim checks
+//	figures -quick          # reduced sweep (CI-sized)
+//	figures -fig 1          # only Figure 1
+//	figures -ablations      # also run A1..A4
+//	figures -csv out.csv    # dump the raw series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"daosim/internal/bench"
+	"daosim/internal/core"
+)
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "reduced node sweep")
+		fig       = flag.Int("fig", 0, "run only this figure (1 or 2); 0 = both")
+		ablations = flag.Bool("ablations", false, "also run ablation experiments A1..A4")
+		csvPath   = flag.String("csv", "", "write raw series CSV to this file")
+	)
+	flag.Parse()
+	scale := bench.Full
+	if *quick {
+		scale = bench.Quick
+	}
+
+	var csv string
+	var easy, hard *core.Study
+	var err error
+
+	if *fig == 0 || *fig == 1 {
+		easy, err = bench.Figure1(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.Render("Figure 1: IOR file-per-process (easy)", easy))
+		fmt.Println("Paper claims, checked:")
+		fmt.Println(bench.RenderClaims(easy.CheckEasyClaims()))
+		csv += easy.CSV()
+	}
+	if *fig == 0 || *fig == 2 {
+		hard, err = bench.Figure2(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.Render("Figure 2: IOR shared-file (hard)", hard))
+		fmt.Println("Paper claims, checked:")
+		fmt.Println(bench.RenderClaims(hard.CheckHardClaims()))
+		csv += hard.CSV()
+	}
+	if easy != nil && hard != nil {
+		fmt.Println("Cross-figure claim:")
+		fmt.Println(bench.RenderClaims(core.CheckCrossClaims(easy, hard)))
+	}
+
+	if *ablations {
+		runAblations(scale)
+	}
+
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(csv), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("raw series written to %s\n", *csvPath)
+	}
+}
+
+func runAblations(scale bench.Scale) {
+	fmt.Println("=== Ablation A1: object class sweep at peak contention ===")
+	a1, err := bench.AblationObjectClass(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(a1.Table(true))
+	fmt.Println(a1.Table(false))
+
+	fmt.Println("=== Ablation A2: transfer size sweep (daos S2) ===")
+	a2, err := bench.AblationTransferSize(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range a2 {
+		fmt.Printf("  t=%8d KiB  write %7.2f GiB/s  read %7.2f GiB/s\n",
+			pt.Transfer>>10, pt.WriteGiBs, pt.ReadGiBs)
+	}
+	fmt.Println()
+
+	fmt.Println("=== Ablation A3: DFuse overhead decomposition ===")
+	a3, err := bench.AblationFuseOverhead(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(a3.Table(true))
+	fmt.Println(a3.Table(false))
+
+	fmt.Println("=== Ablation A4: collective vs independent MPI-I/O (shared file) ===")
+	a4, err := bench.AblationCollective(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(a4.Table(true))
+	fmt.Println(a4.Table(false))
+
+	fmt.Println("=== Future work (paper SV): native DAOS array API vs DFS ===")
+	fw, err := bench.FutureNativeArray(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range fw {
+		fmt.Printf("  nodes=%2d  native w/r %7.2f/%7.2f GiB/s   dfs w/r %7.2f/%7.2f GiB/s\n",
+			pt.Nodes, pt.NativeWriteGiBs, pt.NativeReadGiBs, pt.DFSWriteGiBs, pt.DFSReadGiBs)
+	}
+}

@@ -1,0 +1,102 @@
+// Command iorsim runs a single IOR configuration on the simulated
+// NEXTGenIO-class cluster and prints an IOR-style summary.
+//
+// Example (the paper's easy mode, DFS backend, S2 objects, 8 client nodes):
+//
+//	iorsim -api DFS -fpp -class S2 -nodes 8 -ppn 8 -b 16m -t 2m -C
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"daosim/internal/cluster"
+	"daosim/internal/ior"
+	"daosim/internal/placement"
+	"daosim/internal/sim"
+)
+
+func main() {
+	var (
+		api        = flag.String("api", "DFS", "backend: POSIX, DFS, MPIIO, or HDF5")
+		fpp        = flag.Bool("fpp", false, "file per process (IOR easy); default shared file (hard)")
+		class      = flag.String("class", "SX", "object class: S1, S2, S4, S8, SX")
+		nodes      = flag.Int("nodes", 4, "client nodes")
+		ppn        = flag.Int("ppn", 8, "ranks per node")
+		block      = flag.String("b", "16m", "block size per rank (e.g. 64m, 1g)")
+		transfer   = flag.String("t", "2m", "transfer size (e.g. 1m, 4m)")
+		segments   = flag.Int("s", 1, "segments")
+		iters      = flag.Int("i", 1, "iterations")
+		verify     = flag.Bool("R", false, "verify data on read")
+		reorder    = flag.Bool("C", true, "reorder tasks for the read phase")
+		collective = flag.Bool("c", false, "collective MPI-I/O")
+		random     = flag.Bool("z", false, "random (shuffled) transfer order")
+		writeOnly  = flag.Bool("w", false, "write phase only")
+		readOnly   = flag.Bool("r", false, "read phase only (requires -w run data; use -w=false -r=false for both)")
+	)
+	flag.Parse()
+
+	cls, err := placement.ClassByName(strings.ToUpper(*class))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := ior.Config{
+		API:           ior.API(strings.ToUpper(*api)),
+		FilePerProc:   *fpp,
+		BlockSize:     parseSize(*block),
+		TransferSize:  parseSize(*transfer),
+		Segments:      *segments,
+		Iterations:    *iters,
+		DoWrite:       !*readOnly,
+		DoRead:        !*writeOnly,
+		Verify:        *verify,
+		ReorderTasks:  *reorder,
+		Class:         cls.ID,
+		Collective:    *collective,
+		RandomOffsets: *random,
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	tb := cluster.New(cluster.NEXTGenIO())
+	defer tb.Shutdown()
+	var res *ior.Result
+	elapsed := tb.Run(func(p *sim.Proc) {
+		env, err := ior.NewEnv(p, tb, *nodes, *ppn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err = ior.Run(p, env, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	})
+	fmt.Print(res)
+	fmt.Printf("  verify errors: %d\n", res.VerifyErrors)
+	fmt.Printf("  virtual time:  %v\n", elapsed)
+}
+
+// parseSize parses IOR-style sizes: 4k, 2m, 1g, or plain bytes.
+func parseSize(s string) int64 {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "k")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "g")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad size %q\n", s)
+		os.Exit(2)
+	}
+	return n * mult
+}

@@ -1,0 +1,139 @@
+// Command weatherfields models the paper's motivating domain: numerical
+// weather prediction I/O at ECMWF (refs [15][20] of the paper). A time-
+// critical forecast writes many medium-sized meteorological fields per
+// output step, each keyed by its metadata (parameter, level, step) — an
+// object-store-friendly pattern that stresses metadata on POSIX
+// filesystems.
+//
+// The example runs the same field-output workload twice — through the
+// native DAOS KV+array APIs and through the DFS file API — and compares
+// virtual-time cost, echoing the paper's conclusion that file APIs on DAOS
+// remain competitive for bulk I/O.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"daosim/internal/cluster"
+	"daosim/internal/daos"
+	"daosim/internal/dfs"
+	"daosim/internal/fabric"
+	"daosim/internal/mpi"
+	"daosim/internal/placement"
+	"daosim/internal/sim"
+)
+
+const (
+	writerNodes   = 4
+	ppn           = 4
+	fieldsPerStep = 8       // parameters (t, u, v, q, ...) per rank per step
+	steps         = 3       // forecast output steps
+	fieldSize     = 2 << 20 // 2 MiB per field (a global grid slice)
+)
+
+func main() {
+	tb := cluster.New(cluster.NEXTGenIO())
+
+	tb.Run(func(p *sim.Proc) {
+		admin := tb.NewClient(tb.ClientNode(0), 999)
+		pool, err := admin.CreatePool(p, "nwp-pool")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := pool.CreateContainer(p, "fdb", daos.ContProps{Class: placement.S2}); err != nil {
+			log.Fatal(err)
+		}
+
+		var rankNodes []*fabric.Node
+		for r := 0; r < writerNodes*ppn; r++ {
+			rankNodes = append(rankNodes, tb.ClientNode(r/ppn))
+		}
+		world := mpi.NewWorld(tb.Sim, tb.Fabric, rankNodes)
+
+		// --- Native object API: one shared KV catalogue + one array object
+		// per field, as the ECMWF FDB-over-DAOS prototypes do.
+		native := world.Parallel(p, func(cp *sim.Proc, r *mpi.Rank) {
+			cl := tb.NewClient(r.Node(), uint32(100+r.ID()))
+			pl, err := cl.Connect(cp, "nwp-pool")
+			if err != nil {
+				log.Fatal(err)
+			}
+			ct, err := pl.OpenContainer(cp, "fdb")
+			if err != nil {
+				log.Fatal(err)
+			}
+			idx, err := ct.OpenKV(cp, placement.EncodeOID(placement.SX, 0, 7)) // well-known catalogue
+			if err != nil {
+				log.Fatal(err)
+			}
+			field := make([]byte, fieldSize)
+			for s := 0; s < steps; s++ {
+				for f := 0; f < fieldsPerStep; f++ {
+					key := fmt.Sprintf("param=%d/step=%d/rank=%d", f, s, r.ID())
+					arr, err := ct.OpenArray(cp, ct.AllocOID(placement.S2))
+					if err != nil {
+						log.Fatal(err)
+					}
+					if err := arr.Write(cp, 0, field); err != nil {
+						log.Fatal(err)
+					}
+					if err := idx.Put(cp, key, []byte(arr.Obj.OID.String())); err != nil {
+						log.Fatal(err)
+					}
+				}
+				r.Barrier(cp) // output step boundary
+			}
+		})
+
+		// --- File API: one DFS file per field under a step directory.
+		fileAPI := world.Parallel(p, func(cp *sim.Proc, r *mpi.Rank) {
+			cl := tb.NewClient(r.Node(), uint32(200+r.ID()))
+			pl, err := cl.Connect(cp, "nwp-pool")
+			if err != nil {
+				log.Fatal(err)
+			}
+			ct, err := pl.OpenContainer(cp, "fdb")
+			if err != nil {
+				log.Fatal(err)
+			}
+			fsys, err := dfs.Mount(cp, ct)
+			if err != nil {
+				log.Fatal(err)
+			}
+			field := make([]byte, fieldSize)
+			for s := 0; s < steps; s++ {
+				dir := fmt.Sprintf("/step.%03d", s)
+				if r.ID() == 0 {
+					if err := fsys.MkdirAll(cp, dir); err != nil {
+						log.Fatal(err)
+					}
+				}
+				r.Barrier(cp)
+				for f := 0; f < fieldsPerStep; f++ {
+					path := fmt.Sprintf("%s/param%02d.rank%03d", dir, f, r.ID())
+					file, err := fsys.Create(cp, path, dfs.CreateOpts{Class: placement.S2})
+					if err != nil {
+						log.Fatal(err)
+					}
+					if err := file.WriteAt(cp, 0, field); err != nil {
+						log.Fatal(err)
+					}
+					file.Close(cp)
+				}
+				r.Barrier(cp)
+			}
+		})
+
+		ranks := writerNodes * ppn
+		total := float64(int64(ranks*fieldsPerStep*steps) * fieldSize)
+		fmt.Printf("NWP field output: %d ranks x %d steps x %d fields x %d MiB\n",
+			ranks, steps, fieldsPerStep, fieldSize>>20)
+		fmt.Printf("  native KV+array: %10v  (%6.2f GiB/s)\n", native, total/native.Seconds()/(1<<30))
+		fmt.Printf("  DFS file API:    %10v  (%6.2f GiB/s)\n", fileAPI, total/fileAPI.Seconds()/(1<<30))
+		fmt.Println()
+		fmt.Println("File-API overhead comes from per-file directory records; the bulk")
+		fmt.Println("data path is identical — the paper's \"file APIs can still provide")
+		fmt.Println("good performance\" conclusion.")
+	})
+}

@@ -1,0 +1,216 @@
+// Package bench regenerates every figure in the paper's evaluation section
+// plus the ablations DESIGN.md calls out, on top of the core study API.
+// Each experiment has a canned configuration (scaled to simulator-friendly
+// sizes while preserving the paper's geometry ratios) and renderers for
+// text tables and CSV.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"daosim/internal/cluster"
+	"daosim/internal/core"
+	"daosim/internal/ior"
+	"daosim/internal/placement"
+	"daosim/internal/sim"
+)
+
+// Scale picks the sweep size: Full reproduces the paper's node axis;
+// Quick is a reduced sweep for CI and testing.B runs.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+func nodesFor(s Scale) []int {
+	if s == Full {
+		return []int{1, 2, 4, 8, 16}
+	}
+	return []int{1, 4}
+}
+
+// Figure1 runs the easy (file-per-process) study behind the paper's Fig. 1.
+func Figure1(scale Scale) (*core.Study, error) {
+	return core.Run(core.Config{
+		Workload: "easy",
+		Nodes:    nodesFor(scale),
+		Variants: core.EasyVariants(),
+	})
+}
+
+// Figure2 runs the hard (shared-file) study behind the paper's Fig. 2.
+func Figure2(scale Scale) (*core.Study, error) {
+	return core.Run(core.Config{
+		Workload: "hard",
+		Nodes:    nodesFor(scale),
+		Variants: core.HardVariants(),
+	})
+}
+
+// Render formats a study as the paper renders a figure: a read panel (a)
+// and a write panel (b).
+func Render(title string, st *core.Study) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n", title)
+	b.WriteString("(a) Read\n")
+	b.WriteString(st.Table(false))
+	b.WriteString("(b) Write\n")
+	b.WriteString(st.Table(true))
+	return b.String()
+}
+
+// RenderClaims formats claim check results.
+func RenderClaims(claims []core.Claim) string {
+	var b strings.Builder
+	for _, c := range claims {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "  [%s] %s", status, c.Name)
+		if c.Detail != "" {
+			fmt.Fprintf(&b, "  (%s)", c.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// AblationObjectClass sweeps every sharding class at a fixed node count
+// (ablation A1: the shard fan-out trade-off behind the S2/SX crossover).
+func AblationObjectClass(scale Scale) (*core.Study, error) {
+	nodes := nodesFor(scale)
+	peak := nodes[len(nodes)-1]
+	return core.Run(core.Config{
+		Workload: "easy",
+		Nodes:    []int{peak},
+		Variants: []core.Variant{
+			{Label: "S1", API: ior.APIDFS, Class: placement.S1},
+			{Label: "S2", API: ior.APIDFS, Class: placement.S2},
+			{Label: "S4", API: ior.APIDFS, Class: placement.S4},
+			{Label: "S8", API: ior.APIDFS, Class: placement.S8},
+			{Label: "SX", API: ior.APIDFS, Class: placement.SX},
+		},
+	})
+}
+
+// AblationTransferSize sweeps the IOR transfer size at a fixed shape
+// (ablation A2).
+func AblationTransferSize(scale Scale) ([]TransferPoint, error) {
+	sizes := []int64{256 << 10, 1 << 20, 2 << 20, 4 << 20}
+	if scale == Quick {
+		sizes = []int64{512 << 10, 2 << 20}
+	}
+	var out []TransferPoint
+	for _, ts := range sizes {
+		st, err := core.Run(core.Config{
+			Workload:     "easy",
+			Nodes:        []int{nodesFor(scale)[len(nodesFor(scale))-1]},
+			TransferSize: ts,
+			Variants: []core.Variant{
+				{Label: "daos S2", API: ior.APIDFS, Class: placement.S2},
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt := st.Series[0].Points[0]
+		out = append(out, TransferPoint{Transfer: ts, WriteGiBs: pt.WriteGiBs, ReadGiBs: pt.ReadGiBs})
+	}
+	return out, nil
+}
+
+// TransferPoint is one transfer-size ablation measurement.
+type TransferPoint struct {
+	Transfer  int64
+	WriteGiBs float64
+	ReadGiBs  float64
+}
+
+// AblationFuseOverhead compares DFS-direct with POSIX-over-DFuse at one
+// shape (ablation A3: the DFuse data-path decomposition).
+func AblationFuseOverhead(scale Scale) (*core.Study, error) {
+	return core.Run(core.Config{
+		Workload: "easy",
+		Nodes:    nodesFor(scale),
+		Variants: []core.Variant{
+			{Label: "dfs direct", API: ior.APIDFS, Class: placement.S2},
+			{Label: "posix dfuse", API: ior.APIPosix, Class: placement.S2},
+		},
+	})
+}
+
+// AblationCollective compares independent and collective MPI-I/O on the
+// shared-file workload (the design choice ROMIO's two-phase path embodies).
+func AblationCollective(scale Scale) (*core.Study, error) {
+	return core.Run(core.Config{
+		Workload: "hard",
+		Nodes:    nodesFor(scale),
+		Variants: []core.Variant{
+			{Label: "independent", API: ior.APIMPIIO, Class: placement.SX},
+			{Label: "collective", API: ior.APIMPIIO, Class: placement.SX, Collective: true},
+		},
+	})
+}
+
+// FutureNativeArray measures the paper's §V future work: driving IOR-like
+// traffic through the native DAOS array API (no DFS namespace at all),
+// compared with the DFS backend. It returns (native, dfs) bandwidth pairs
+// per node count.
+func FutureNativeArray(scale Scale) ([]NativePoint, error) {
+	var out []NativePoint
+	for _, nodes := range nodesFor(scale) {
+		native, err := runNativeArray(nodes, 8, 16<<20, 2<<20)
+		if err != nil {
+			return nil, err
+		}
+		st, err := core.Run(core.Config{
+			Workload: "easy",
+			Nodes:    []int{nodes},
+			Variants: []core.Variant{{Label: "dfs", API: ior.APIDFS, Class: placement.S2}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt := st.Series[0].Points[0]
+		native.DFSWriteGiBs = pt.WriteGiBs
+		native.DFSReadGiBs = pt.ReadGiBs
+		out = append(out, native)
+	}
+	return out, nil
+}
+
+// NativePoint is one future-work comparison measurement.
+type NativePoint struct {
+	Nodes           int
+	NativeWriteGiBs float64
+	NativeReadGiBs  float64
+	DFSWriteGiBs    float64
+	DFSReadGiBs     float64
+}
+
+// runNativeArray writes/reads per-rank arrays through the raw object API.
+func runNativeArray(nodes, ppn int, block, transfer int64) (NativePoint, error) {
+	tb := cluster.New(cluster.NEXTGenIO())
+	defer tb.Shutdown()
+	pt := NativePoint{Nodes: nodes}
+	var runErr error
+	tb.Run(func(p *sim.Proc) {
+		env, err := ior.NewEnv(p, tb, nodes, ppn)
+		if err != nil {
+			runErr = err
+			return
+		}
+		w, r, err := ior.RunNativeArray(p, env, block, transfer, placement.S2)
+		if err != nil {
+			runErr = err
+			return
+		}
+		pt.NativeWriteGiBs, pt.NativeReadGiBs = w, r
+	})
+	return pt, runErr
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The bench tests exercise the canned experiment wiring at Quick scale so
+// CI validates every figure/ablation path end to end. Full-scale sweeps run
+// through cmd/figures.
+
+func TestFigure1Quick(t *testing.T) {
+	st, err := Figure1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Series) != 5 {
+		t.Fatalf("series = %d", len(st.Series))
+	}
+	out := Render("Figure 1", st)
+	if !strings.Contains(out, "(a) Read") || !strings.Contains(out, "(b) Write") {
+		t.Fatalf("render missing panels:\n%s", out)
+	}
+}
+
+func TestFigure2Quick(t *testing.T) {
+	st, err := Figure2(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Series) != 3 {
+		t.Fatalf("series = %d", len(st.Series))
+	}
+	claims := st.CheckHardClaims()
+	out := RenderClaims(claims)
+	if !strings.Contains(out, "fig2:") {
+		t.Fatalf("claims render:\n%s", out)
+	}
+}
+
+func TestAblationObjectClassQuick(t *testing.T) {
+	st, err := AblationObjectClass(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Series) != 5 {
+		t.Fatalf("classes = %d", len(st.Series))
+	}
+	// Every class must produce positive bandwidth at the peak point.
+	for _, s := range st.Series {
+		if s.Points[0].WriteGiBs <= 0 {
+			t.Fatalf("class %s produced no bandwidth", s.Variant.Label)
+		}
+	}
+}
+
+func TestAblationTransferSizeQuick(t *testing.T) {
+	pts, err := AblationTransferSize(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Larger transfers amortize per-op costs: bandwidth must not collapse.
+	if pts[1].WriteGiBs <= pts[0].WriteGiBs*0.5 {
+		t.Fatalf("larger transfer slower: %+v", pts)
+	}
+}
+
+func TestAblationFuseOverheadQuick(t *testing.T) {
+	st, err := AblationFuseOverhead(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfs := st.Series[0]
+	posix := st.Series[1]
+	for i := range dfs.Points {
+		if posix.Points[i].WriteGiBs > dfs.Points[i].WriteGiBs*1.15 {
+			t.Fatalf("posix-over-dfuse beats dfs direct at %d nodes", dfs.Points[i].Nodes)
+		}
+	}
+}
+
+func TestAblationCollectiveQuick(t *testing.T) {
+	st, err := AblationCollective(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Series) != 2 {
+		t.Fatalf("series = %d", len(st.Series))
+	}
+	for _, s := range st.Series {
+		for _, pt := range s.Points {
+			if pt.WriteGiBs <= 0 || pt.ReadGiBs <= 0 {
+				t.Fatalf("%s produced no bandwidth", s.Variant.Label)
+			}
+		}
+	}
+}
+
+func TestFutureNativeArrayQuick(t *testing.T) {
+	pts, err := FutureNativeArray(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.NativeWriteGiBs <= 0 || pt.DFSWriteGiBs <= 0 {
+			t.Fatalf("missing bandwidth: %+v", pt)
+		}
+		// The native array path skips the DFS namespace; it must not be
+		// slower than DFS by more than a whisker.
+		if pt.NativeWriteGiBs < pt.DFSWriteGiBs*0.8 {
+			t.Fatalf("native array much slower than DFS: %+v", pt)
+		}
+	}
+}
+
+func TestNodesForScales(t *testing.T) {
+	if len(nodesFor(Full)) != 5 || len(nodesFor(Quick)) != 2 {
+		t.Fatal("scale sweeps wrong")
+	}
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"daosim/internal/sim"
+)
+
+func TestNEXTGenIOShape(t *testing.T) {
+	cfg := NEXTGenIO()
+	tb := New(cfg)
+	if len(tb.Engines) != 16 {
+		t.Fatalf("engines = %d, want 16", len(tb.Engines))
+	}
+	if len(tb.Servers) != 8 || len(tb.Clients) != 16 {
+		t.Fatalf("servers/clients = %d/%d", len(tb.Servers), len(tb.Clients))
+	}
+	if got := len(tb.PoolMap().Targets); got != 128 {
+		t.Fatalf("targets = %d, want 128", got)
+	}
+	// Engines 0 and 1 share server node 0's NIC.
+	if tb.Engines[0].Node() != tb.Engines[1].Node() {
+		t.Fatal("socket engines must share their server node")
+	}
+	if tb.Engines[1].Node() == tb.Engines[2].Node() {
+		t.Fatal("engines on different servers share a node")
+	}
+}
+
+func TestRunMeasuresVirtualTime(t *testing.T) {
+	tb := New(Small())
+	elapsed := tb.Run(func(p *sim.Proc) {
+		p.Sleep(123 * time.Millisecond)
+	})
+	if elapsed != 123*time.Millisecond {
+		t.Fatalf("elapsed = %v", elapsed)
+	}
+}
+
+func TestExcludeReintegrate(t *testing.T) {
+	tb := New(Small())
+	v := tb.PoolMap().Version
+	tb.ExcludeEngine(1)
+	if tb.PoolMap().Version == v {
+		t.Fatal("exclusion did not bump map version")
+	}
+	up := 0
+	for _, tg := range tb.PoolMap().Targets {
+		if tg.Up {
+			up++
+		}
+	}
+	if up != 3*tb.Cfg.TargetsPerEngine {
+		t.Fatalf("up targets = %d", up)
+	}
+	tb.ReintegrateEngine(1)
+	for _, tg := range tb.PoolMap().Targets {
+		if !tg.Up {
+			t.Fatal("target still down after reintegrate")
+		}
+	}
+}
+
+func TestShutdownDrains(t *testing.T) {
+	tb := New(Small())
+	tb.Run(func(p *sim.Proc) { p.Sleep(time.Millisecond) })
+	tb.Shutdown() // must not hang or panic
+}
+
+func TestClientNodeWraps(t *testing.T) {
+	tb := New(Small())
+	if tb.ClientNode(0) != tb.ClientNode(2) {
+		t.Fatal("rank 2 should wrap onto client node 0 with 2 nodes")
+	}
+}

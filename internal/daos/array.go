@@ -1,0 +1,151 @@
+package daos
+
+import (
+	"fmt"
+
+	"daosim/internal/engine"
+	"daosim/internal/sim"
+	"daosim/internal/vos"
+)
+
+// arrayAkey is the akey under which array data lives, as in libdaos's array
+// API.
+var arrayAkey = []byte("array_data")
+
+// Array is the byte-array API over an object: a flat address space striped
+// over the object's shards in ChunkSize cells (one dkey per chunk, chunks
+// round-robin across shards — the layout DFS files use).
+type Array struct {
+	Obj       *Object
+	ChunkSize int64
+}
+
+// OpenArray opens oid as a byte array with the container's chunk size.
+func (ct *Container) OpenArray(p *sim.Proc, oid vos.ObjectID) (*Array, error) {
+	obj, err := ct.OpenObject(p, oid)
+	if err != nil {
+		return nil, err
+	}
+	return &Array{Obj: obj, ChunkSize: ct.Props.ChunkSize}, nil
+}
+
+// chunkSpan describes the intersection of an I/O with one chunk.
+type chunkSpan struct {
+	chunk  int64 // chunk index
+	inOff  int64 // offset within the chunk
+	bufLo  int64 // offset within the caller's buffer
+	length int64
+}
+
+// spans splits [off, off+n) into per-chunk pieces.
+func (a *Array) spans(off, n int64) []chunkSpan {
+	var out []chunkSpan
+	var bufLo int64
+	for n > 0 {
+		chunk := off / a.ChunkSize
+		inOff := off % a.ChunkSize
+		l := a.ChunkSize - inOff
+		if l > n {
+			l = n
+		}
+		out = append(out, chunkSpan{chunk: chunk, inOff: inOff, bufLo: bufLo, length: l})
+		off += l
+		n -= l
+		bufLo += l
+	}
+	return out
+}
+
+// Write stores data at the byte offset.
+func (a *Array) Write(p *sim.Proc, off int64, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	spans := a.spans(off, int64(len(data)))
+	writes := make([]engine.WriteExt, 0, len(spans))
+	for _, sp := range spans {
+		writes = append(writes, engine.WriteExt{
+			Dkey:   engine.ChunkDkey(sp.chunk),
+			Akey:   arrayAkey,
+			Offset: sp.inOff,
+			Data:   data[sp.bufLo : sp.bufLo+sp.length],
+		})
+	}
+	return a.Obj.Update(p, writes)
+}
+
+// Read fetches n bytes at the byte offset as visible at epoch (0 = latest).
+// Holes read as zeros.
+func (a *Array) ReadAt(p *sim.Proc, off int64, n int64, epoch vos.Epoch) ([]byte, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	spans := a.spans(off, n)
+	reads := make([]engine.ReadExt, 0, len(spans))
+	for _, sp := range spans {
+		reads = append(reads, engine.ReadExt{
+			Dkey:   engine.ChunkDkey(sp.chunk),
+			Akey:   arrayAkey,
+			Offset: sp.inOff,
+			Length: int(sp.length),
+		})
+	}
+	data, err := a.Obj.Fetch(p, reads, epoch)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	for i, sp := range spans {
+		if data[i] != nil {
+			copy(buf[sp.bufLo:sp.bufLo+sp.length], data[i])
+		}
+	}
+	return buf, nil
+}
+
+// Read fetches the latest data at the byte offset.
+func (a *Array) Read(p *sim.Proc, off int64, n int64) ([]byte, error) {
+	return a.ReadAt(p, off, n, 0)
+}
+
+// Size returns the array's end-of-file: the max high-water mark across
+// shards.
+func (a *Array) Size(p *sim.Proc) (int64, error) {
+	if err := a.Obj.refresh(); err != nil {
+		return 0, err
+	}
+	c := a.Obj.cont.Pool.client
+	var max int64
+	var firstErr error
+	wg := sim.NewWaitGroup(c.sim)
+	for _, sh := range a.Obj.Layout.Shards {
+		tgt := sh[0]
+		wg.Go("daos-size", func(cp *sim.Proc) {
+			resp := a.Obj.call(cp, tgt, &engine.SizeReq{
+				Cont:      a.Obj.cont.UUID,
+				OID:       a.Obj.OID,
+				Target:    tgt,
+				Akey:      arrayAkey,
+				ChunkSize: a.ChunkSize,
+			})
+			if resp.Err != nil {
+				if firstErr == nil {
+					firstErr = resp.Err
+				}
+				return
+			}
+			if b := resp.Body.(*engine.SizeResp).Bytes; b > max {
+				max = b
+			}
+		})
+		p.Sleep(c.costs.RPCIssue)
+	}
+	wg.Wait(p)
+	if firstErr != nil {
+		return 0, fmt.Errorf("daos: array size: %w", firstErr)
+	}
+	return max, nil
+}
+
+// Punch removes the array object.
+func (a *Array) Punch(p *sim.Proc) error { return a.Obj.Punch(p) }

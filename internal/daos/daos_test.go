@@ -1,0 +1,344 @@
+package daos_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"daosim/internal/cluster"
+	"daosim/internal/daos"
+	"daosim/internal/placement"
+	"daosim/internal/sim"
+	"daosim/internal/vos"
+)
+
+// withContainer boots a small testbed and runs body inside the main process
+// with an open container.
+func withContainer(t *testing.T, class placement.ClassID, body func(p *sim.Proc, tb *cluster.Testbed, ct *daos.Container)) {
+	t.Helper()
+	tb := cluster.New(cluster.Small())
+	client := tb.NewClient(tb.ClientNode(0), 1)
+	tb.Run(func(p *sim.Proc) {
+		pool, err := client.CreatePool(p, "p0")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ct, err := pool.CreateContainer(p, "c0", daos.ContProps{Class: class})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		body(p, tb, ct)
+	})
+}
+
+func TestPoolAndContainerLifecycle(t *testing.T) {
+	withContainer(t, placement.S1, func(p *sim.Proc, tb *cluster.Testbed, ct *daos.Container) {
+		if ct.UUID == "" {
+			t.Error("container has no UUID")
+		}
+		// Reopen through a second client.
+		c2 := tb.NewClient(tb.ClientNode(1), 2)
+		pool2, err := c2.Connect(p, "p0")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ct2, err := pool2.OpenContainer(p, "c0")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if ct2.UUID != ct.UUID {
+			t.Errorf("UUID mismatch: %s vs %s", ct2.UUID, ct.UUID)
+		}
+		if ct2.Props.Class != placement.S1 {
+			t.Errorf("class = %v", ct2.Props.Class)
+		}
+	})
+}
+
+func TestKVRoundTrip(t *testing.T) {
+	withContainer(t, placement.SX, func(p *sim.Proc, tb *cluster.Testbed, ct *daos.Container) {
+		kv, err := ct.OpenKV(p, ct.AllocOID(placement.SX))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for _, k := range []string{"alpha", "beta", "gamma"} {
+			if err := kv.Put(p, k, []byte("value-"+k)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		v, err := kv.Get(p, "beta")
+		if err != nil || string(v) != "value-beta" {
+			t.Errorf("Get(beta) = %q, %v", v, err)
+		}
+		if _, err := kv.Get(p, "missing"); !errors.Is(err, daos.ErrKeyNotFound) {
+			t.Errorf("missing key err = %v", err)
+		}
+		keys, err := kv.List(p)
+		if err != nil || len(keys) != 3 || keys[0] != "alpha" {
+			t.Errorf("List = %v, %v", keys, err)
+		}
+		if err := kv.Remove(p, "beta"); err != nil {
+			t.Error(err)
+		}
+		if _, err := kv.Get(p, "beta"); err == nil {
+			t.Error("removed key still readable")
+		}
+	})
+}
+
+func TestKVSnapshotRead(t *testing.T) {
+	withContainer(t, placement.S1, func(p *sim.Proc, tb *cluster.Testbed, ct *daos.Container) {
+		kv, err := ct.OpenKV(p, ct.AllocOID(placement.S1))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		kv.Put(p, "k", []byte("v1"))
+		snap := vos.Epoch(p.Now().Nanoseconds())
+		p.Sleep(time.Millisecond)
+		kv.Put(p, "k", []byte("v2"))
+		v, err := kv.GetAt(p, "k", snap)
+		if err != nil || string(v) != "v1" {
+			t.Errorf("snapshot read = %q, %v", v, err)
+		}
+		v, _ = kv.Get(p, "k")
+		if string(v) != "v2" {
+			t.Errorf("latest read = %q", v)
+		}
+	})
+}
+
+func testArrayIO(t *testing.T, class placement.ClassID) {
+	withContainer(t, class, func(p *sim.Proc, tb *cluster.Testbed, ct *daos.Container) {
+		arr, err := ct.OpenArray(p, ct.AllocOID(class))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Write 5 MiB spanning multiple chunks with a recognizable pattern.
+		const size = 5 << 20
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(i * 31 / 7)
+		}
+		if err := arr.Write(p, 0, data); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := arr.Read(p, 0, size)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("class %v: read-back mismatch", class)
+		}
+		// Unaligned read across a chunk boundary.
+		got, err = arr.Read(p, (1<<20)-100, 200)
+		if err != nil || !bytes.Equal(got, data[(1<<20)-100:(1<<20)+100]) {
+			t.Errorf("class %v: unaligned read mismatch (%v)", class, err)
+		}
+		size2, err := arr.Size(p)
+		if err != nil || size2 != size {
+			t.Errorf("class %v: size = %d, %v", class, size2, err)
+		}
+	})
+}
+
+func TestArrayS1(t *testing.T) { testArrayIO(t, placement.S1) }
+func TestArrayS2(t *testing.T) { testArrayIO(t, placement.S2) }
+func TestArraySX(t *testing.T) { testArrayIO(t, placement.SX) }
+
+func TestArrayHolesReadZero(t *testing.T) {
+	withContainer(t, placement.S2, func(p *sim.Proc, tb *cluster.Testbed, ct *daos.Container) {
+		arr, _ := ct.OpenArray(p, ct.AllocOID(placement.S2))
+		arr.Write(p, 3<<20, []byte("end"))
+		got, err := arr.Read(p, 0, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, make([]byte, 10)) {
+			t.Errorf("hole read = %v", got)
+		}
+		size, _ := arr.Size(p)
+		if size != 3<<20+3 {
+			t.Errorf("size = %d", size)
+		}
+	})
+}
+
+func TestArrayOverwrite(t *testing.T) {
+	withContainer(t, placement.S2, func(p *sim.Proc, tb *cluster.Testbed, ct *daos.Container) {
+		arr, _ := ct.OpenArray(p, ct.AllocOID(placement.S2))
+		arr.Write(p, 0, bytes.Repeat([]byte{1}, 2<<20))
+		arr.Write(p, 1<<19, bytes.Repeat([]byte{2}, 1<<20)) // straddles chunks
+		got, err := arr.Read(p, 0, 2<<20)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i, b := range got {
+			want := byte(1)
+			if i >= 1<<19 && i < (1<<19)+(1<<20) {
+				want = 2
+			}
+			if b != want {
+				t.Errorf("byte %d = %d, want %d", i, b, want)
+				return
+			}
+		}
+	})
+}
+
+func TestSXLayoutSpansAllTargets(t *testing.T) {
+	withContainer(t, placement.SX, func(p *sim.Proc, tb *cluster.Testbed, ct *daos.Container) {
+		obj, err := ct.OpenObject(p, ct.AllocOID(placement.SX))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		want := tb.Cfg.ServerNodes * tb.Cfg.EnginesPerNode * tb.Cfg.TargetsPerEngine
+		if obj.Layout.NumShards() != want {
+			t.Errorf("SX shards = %d, want %d", obj.Layout.NumShards(), want)
+		}
+	})
+}
+
+func TestPunchRemovesData(t *testing.T) {
+	withContainer(t, placement.S2, func(p *sim.Proc, tb *cluster.Testbed, ct *daos.Container) {
+		arr, _ := ct.OpenArray(p, ct.AllocOID(placement.S2))
+		arr.Write(p, 0, []byte("data"))
+		if err := arr.Punch(p); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := arr.Read(p, 0, 4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, make([]byte, 4)) {
+			t.Errorf("punched read = %q", got)
+		}
+	})
+}
+
+func TestReplicatedReadSurvivesEngineFailure(t *testing.T) {
+	withContainer(t, placement.RP2G1, func(p *sim.Proc, tb *cluster.Testbed, ct *daos.Container) {
+		kv, err := ct.OpenKV(p, ct.AllocOID(placement.RP2G1))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := kv.Put(p, "k", []byte("replicated")); err != nil {
+			t.Error(err)
+			return
+		}
+		// Fail the engine holding the primary replica.
+		primary := kv.Obj.Layout.Shards[0][0]
+		engineID := primary / tb.Cfg.TargetsPerEngine
+		tb.Engines[engineID].SetDown(true) // engine down but NOT excluded from map
+		v, err := kv.Get(p, "k")
+		if err != nil || string(v) != "replicated" {
+			t.Errorf("replicated read after failure = %q, %v", v, err)
+		}
+	})
+}
+
+func TestWriteAfterExclusionRemaps(t *testing.T) {
+	withContainer(t, placement.S1, func(p *sim.Proc, tb *cluster.Testbed, ct *daos.Container) {
+		arr, err := ct.OpenArray(p, ct.AllocOID(placement.S1))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := arr.Write(p, 0, []byte("before")); err != nil {
+			t.Error(err)
+			return
+		}
+		target := arr.Obj.Layout.Shards[0][0]
+		engineID := target / tb.Cfg.TargetsPerEngine
+		tb.ExcludeEngine(engineID)
+		// The stale layout is refreshed on the next op; the write lands on a
+		// live target.
+		if err := arr.Write(p, 0, []byte("after!")); err != nil {
+			t.Error(err)
+			return
+		}
+		newTarget := arr.Obj.Layout.Shards[0][0]
+		if newTarget/tb.Cfg.TargetsPerEngine == engineID {
+			t.Error("layout still points at the excluded engine")
+		}
+		got, err := arr.Read(p, 0, 6)
+		if err != nil || string(got) != "after!" {
+			t.Errorf("read after remap = %q, %v", got, err)
+		}
+	})
+}
+
+func TestEventQueueAsync(t *testing.T) {
+	tb := cluster.New(cluster.Small())
+	client := tb.NewClient(tb.ClientNode(0), 1)
+	tb.Run(func(p *sim.Proc) {
+		pool, _ := client.CreatePool(p, "p0")
+		ct, _ := pool.CreateContainer(p, "c0", daos.ContProps{Class: placement.S2})
+		arr, err := ct.OpenArray(p, ct.AllocOID(placement.S2))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Launch 8 concurrent 1 MiB writes; async must beat serial.
+		start := p.Now()
+		eq := client.NewEventQueue(8)
+		for i := 0; i < 8; i++ {
+			off := int64(i) << 20
+			eq.Submit(p, func(cp *sim.Proc) error {
+				return arr.Write(cp, off, bytes.Repeat([]byte{byte(i)}, 1<<20))
+			})
+		}
+		if err := eq.Wait(p); err != nil {
+			t.Error(err)
+			return
+		}
+		asyncTime := p.Now() - start
+
+		start = p.Now()
+		for i := 0; i < 8; i++ {
+			arr.Write(p, int64(i)<<20, bytes.Repeat([]byte{byte(i)}, 1<<20))
+		}
+		serialTime := p.Now() - start
+		if asyncTime >= serialTime {
+			t.Errorf("async %v not faster than serial %v", asyncTime, serialTime)
+		}
+	})
+}
+
+func TestOIDAllocationUnique(t *testing.T) {
+	tb := cluster.New(cluster.Small())
+	c1 := tb.NewClient(tb.ClientNode(0), 1)
+	c2 := tb.NewClient(tb.ClientNode(1), 2)
+	tb.Run(func(p *sim.Proc) {
+		pool, _ := c1.CreatePool(p, "p0")
+		ct1, _ := pool.CreateContainer(p, "c0", daos.ContProps{})
+		pool2, _ := c2.Connect(p, "p0")
+		ct2, _ := pool2.OpenContainer(p, "c0")
+		seen := map[vos.ObjectID]bool{}
+		for i := 0; i < 100; i++ {
+			for _, ct := range []*daos.Container{ct1, ct2} {
+				oid := ct.AllocOID(placement.S1)
+				if seen[oid] {
+					t.Fatalf("duplicate OID %v", oid)
+				}
+				seen[oid] = true
+			}
+		}
+	})
+}

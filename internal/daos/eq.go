@@ -1,0 +1,53 @@
+package daos
+
+import "daosim/internal/sim"
+
+// EventQueue provides asynchronous I/O in the style of libdaos's daos_eq:
+// operations launched on the queue run concurrently with the caller, which
+// later waits for completion and collects errors. The paper's §II lists
+// non-blocking I/O among DAOS's features; examples and the native-array
+// future-work bench use this to keep multiple transfers in flight per rank.
+type EventQueue struct {
+	sim  *sim.Sim
+	wg   *sim.WaitGroup
+	errs []error
+	// inflight bounds concurrent events when positive (like an EQ depth).
+	slots *sim.Resource
+}
+
+// NewEventQueue creates an event queue. depth > 0 bounds in-flight events.
+func (c *Client) NewEventQueue(depth int) *EventQueue {
+	eq := &EventQueue{sim: c.sim, wg: sim.NewWaitGroup(c.sim)}
+	if depth > 0 {
+		eq.slots = sim.NewResource(c.sim, "daos-eq", depth)
+	}
+	return eq
+}
+
+// Submit launches op asynchronously. If the queue has a depth limit the
+// caller blocks until a slot frees.
+func (eq *EventQueue) Submit(p *sim.Proc, op func(cp *sim.Proc) error) {
+	if eq.slots != nil {
+		eq.slots.Acquire(p)
+	}
+	eq.wg.Go("daos-eq-op", func(cp *sim.Proc) {
+		if eq.slots != nil {
+			defer eq.slots.Release()
+		}
+		if err := op(cp); err != nil {
+			eq.errs = append(eq.errs, err)
+		}
+	})
+}
+
+// Wait blocks until every submitted event completes and returns the first
+// error, if any.
+func (eq *EventQueue) Wait(p *sim.Proc) error {
+	eq.wg.Wait(p)
+	if len(eq.errs) > 0 {
+		err := eq.errs[0]
+		eq.errs = nil
+		return err
+	}
+	return nil
+}

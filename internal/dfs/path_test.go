@@ -1,0 +1,132 @@
+package dfs_test
+
+import (
+	"fmt"
+	"path"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"daosim/internal/cluster"
+	"daosim/internal/dfs"
+	"daosim/internal/sim"
+)
+
+// TestPathResolutionMatchesReferenceTree drives a random tree of mkdir /
+// create operations and checks that DFS's view of every path agrees with
+// an in-memory reference map — the namespace invariant behind every DFuse
+// and MPI-I/O operation.
+func TestPathResolutionMatchesReferenceTree(t *testing.T) {
+	type op struct {
+		Dir  bool
+		A, B uint8
+	}
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	f := func(ops []op) bool {
+		if len(ops) > 12 {
+			ops = ops[:12]
+		}
+		good := true
+		withFS(t, func(p *sim.Proc, tb *cluster.Testbed, fsys *dfs.FS) {
+			ref := map[string]string{"/": "dir"} // path -> "dir"|"file"
+			for _, o := range ops {
+				parent := "/"
+				// Half the time, nest under an existing directory.
+				if o.B%2 == 0 {
+					for cand := range ref {
+						if ref[cand] == "dir" && strings.Count(cand, "/") < 3 {
+							parent = cand
+							break
+						}
+					}
+				}
+				name := names[int(o.A)%len(names)]
+				full := path.Join(parent, name)
+				_, exists := ref[full]
+				if o.Dir {
+					err := fsys.Mkdir(p, full)
+					switch {
+					case exists && err == nil:
+						good = false
+					case !exists && err != nil:
+						good = false
+					case !exists:
+						ref[full] = "dir"
+					}
+				} else {
+					_, err := fsys.Create(p, full, dfs.CreateOpts{})
+					switch {
+					case exists && err == nil:
+						good = false
+					case !exists && err != nil:
+						good = false
+					case !exists:
+						ref[full] = "file"
+					}
+				}
+			}
+			// Every reference entry must stat with the right type.
+			for full, kind := range ref {
+				info, err := fsys.Stat(p, full)
+				if err != nil {
+					good = false
+					return
+				}
+				wantDir := kind == "dir"
+				if (info.Type == dfs.TypeDir) != wantDir {
+					good = false
+					return
+				}
+			}
+			// And a path not in the reference must not resolve.
+			if _, err := fsys.Stat(p, "/definitely/not/here"); err == nil {
+				good = false
+			}
+		})
+		return good
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeepPaths exercises resolution depth.
+func TestDeepPaths(t *testing.T) {
+	withFS(t, func(p *sim.Proc, tb *cluster.Testbed, fsys *dfs.FS) {
+		deep := ""
+		for i := 0; i < 8; i++ {
+			deep += fmt.Sprintf("/level%d", i)
+		}
+		if err := fsys.MkdirAll(p, deep); err != nil {
+			t.Error(err)
+			return
+		}
+		f, err := fsys.Create(p, deep+"/leaf", dfs.CreateOpts{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.WriteAt(p, 0, []byte("deep"))
+		info, err := fsys.Stat(p, deep+"/leaf")
+		if err != nil || info.Size != 4 {
+			t.Errorf("deep stat = %+v, %v", info, err)
+		}
+	})
+}
+
+// TestPathNormalization checks odd-but-legal path spellings.
+func TestPathNormalization(t *testing.T) {
+	withFS(t, func(p *sim.Proc, tb *cluster.Testbed, fsys *dfs.FS) {
+		fsys.MkdirAll(p, "/a/b")
+		if _, err := fsys.Create(p, "/a/b/../b/./c", dfs.CreateOpts{}); err != nil {
+			t.Errorf("normalized create: %v", err)
+			return
+		}
+		if _, err := fsys.Open(p, "/a/b/c"); err != nil {
+			t.Errorf("canonical open after dotted create: %v", err)
+		}
+		if _, err := fsys.Open(p, "a/b/c"); err != nil {
+			t.Errorf("relative spelling should resolve from root: %v", err)
+		}
+	})
+}

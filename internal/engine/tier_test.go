@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"daosim/internal/fabric"
+	"daosim/internal/media"
+	"daosim/internal/sim"
+	"daosim/internal/vos"
+)
+
+// tierRig builds an engine with an NVMe bulk tier.
+func tierRig(threshold int64) *rig {
+	s := sim.New(9)
+	f := fabric.New(s, fabric.DefaultConfig())
+	server := f.AddNode("server0")
+	client := f.AddNode("client0")
+	bulk := media.NVMe("e0/nvme", 4*media.TiB)
+	eng := New(s, server, Config{
+		ID:            0,
+		Targets:       4,
+		Media:         media.DCPMMInterleaved("e0/scm", 6),
+		Bulk:          &bulk,
+		BulkThreshold: threshold,
+		Costs:         DefaultCosts(),
+	})
+	return &rig{sim: s, fab: f, eng: eng, client: client}
+}
+
+func TestTierRoutingByValueSize(t *testing.T) {
+	r := tierRig(4 << 10)
+	// A small array value and a single value stay on SCM; a bulk value
+	// lands on NVMe.
+	resp := r.call(t, &UpdateReq{
+		Cont: "c0", OID: rigOID, Target: 0,
+		Writes: []WriteExt{
+			{Dkey: ChunkDkey(0), Akey: []byte("data"), Data: make([]byte, 1<<10)},
+			{Dkey: []byte("meta"), Akey: []byte("v"), Data: make([]byte, 64<<10), Single: true},
+			{Dkey: ChunkDkey(1), Akey: []byte("data"), Data: make([]byte, 1<<20)},
+		},
+	})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if got := r.eng.Device().Used(); got != (1<<10)+(64<<10) {
+		t.Fatalf("SCM used = %d, want small value + single value", got)
+	}
+	if got := r.eng.BulkDevice().Used(); got != 1<<20 {
+		t.Fatalf("NVMe used = %d, want the 1 MiB value", got)
+	}
+}
+
+func TestTierReadBackCorrect(t *testing.T) {
+	r := tierRig(4 << 10)
+	big := bytes.Repeat([]byte("B"), 1<<20)
+	small := []byte("small")
+	r.call(t, &UpdateReq{
+		Cont: "c0", OID: rigOID, Target: 1,
+		Writes: []WriteExt{
+			{Dkey: ChunkDkey(0), Akey: []byte("data"), Data: big},
+			{Dkey: ChunkDkey(1), Akey: []byte("data"), Data: small},
+		},
+	})
+	resp := r.call(t, &FetchReq{
+		Cont: "c0", OID: rigOID, Target: 1,
+		Reads: []ReadExt{
+			{Dkey: ChunkDkey(0), Akey: []byte("data"), Offset: 0, Length: 1 << 20},
+			{Dkey: ChunkDkey(1), Akey: []byte("data"), Offset: 0, Length: 5},
+		},
+	})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	fr := resp.Body.(*FetchResp)
+	if !bytes.Equal(fr.Data[0], big) || !bytes.Equal(fr.Data[1], small) {
+		t.Fatal("tiered read-back mismatch")
+	}
+	if r.eng.BulkDevice().ReadBytes != 1<<20 {
+		t.Fatalf("bulk reads = %d, want 1 MiB", r.eng.BulkDevice().ReadBytes)
+	}
+}
+
+func TestNoTierWithoutBulkDevice(t *testing.T) {
+	r := newRig() // SCM only
+	if r.eng.BulkDevice() != nil {
+		t.Fatal("rig has a bulk device unexpectedly")
+	}
+	r.call(t, &UpdateReq{
+		Cont: "c0", OID: rigOID, Target: 0,
+		Writes: []WriteExt{{Dkey: ChunkDkey(0), Akey: []byte("data"), Data: make([]byte, 1<<20)}},
+	})
+	if got := r.eng.Device().Used(); got != 1<<20 {
+		t.Fatalf("SCM used = %d; everything must stay on SCM without a tier", got)
+	}
+}
+
+func TestTierDefaultThreshold(t *testing.T) {
+	r := tierRig(0) // zero -> DAOS default 4 KiB
+	r.call(t, &UpdateReq{
+		Cont: "c0", OID: rigOID, Target: 0,
+		Writes: []WriteExt{
+			{Dkey: ChunkDkey(0), Akey: []byte("data"), Data: make([]byte, 4<<10)},
+			{Dkey: ChunkDkey(1), Akey: []byte("data"), Data: make([]byte, (4<<10)-1)},
+		},
+	})
+	if got := r.eng.BulkDevice().Used(); got != 4<<10 {
+		t.Fatalf("NVMe used = %d, want exactly the 4 KiB value", got)
+	}
+}
+
+var _ = vos.EpochMax // keep the import used if assertions change

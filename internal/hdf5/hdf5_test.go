@@ -1,0 +1,234 @@
+package hdf5_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"daosim/internal/cluster"
+	"daosim/internal/daos"
+	"daosim/internal/dfs"
+	"daosim/internal/dfuse"
+	"daosim/internal/hdf5"
+	"daosim/internal/placement"
+	"daosim/internal/sim"
+)
+
+// withVFD provides a POSIX VFD over a dfuse mount on a small testbed.
+func withVFD(t *testing.T, body func(p *sim.Proc, newVFD func(p *sim.Proc, path string, create bool) hdf5.VFD)) {
+	t.Helper()
+	tb := cluster.New(cluster.Small())
+	client := tb.NewClient(tb.ClientNode(0), 1)
+	tb.Run(func(p *sim.Proc) {
+		pool, err := client.CreatePool(p, "p0")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ct, err := pool.CreateContainer(p, "c0", daos.ContProps{Class: placement.S2})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fsys, err := dfs.Mount(p, ct)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		m := dfuse.NewMount(tb.Sim, tb.ClientNode(0), fsys, dfuse.DefaultCosts())
+		newVFD := func(p *sim.Proc, path string, create bool) hdf5.VFD {
+			flags := dfuse.O_RDWR
+			if create {
+				flags |= dfuse.O_CREATE
+			}
+			fd, err := m.Open(p, path, flags, dfs.CreateOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return hdf5.NewPosixVFD(fd)
+		}
+		body(p, newVFD)
+	})
+}
+
+func fill(n int, seed byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = seed + byte(i%97)
+	}
+	return out
+}
+
+func TestContiguousRoundTrip(t *testing.T) {
+	withVFD(t, func(p *sim.Proc, newVFD func(*sim.Proc, string, bool) hdf5.VFD) {
+		f, err := hdf5.Create(p, newVFD(p, "/c.h5", true), hdf5.DefaultCosts())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ds, err := f.CreateDataset(p, "temperature", 4<<20, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		data := fill(4<<20, 3)
+		if err := ds.Write(p, 0, data); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := ds.Read(p, 0, 4<<20)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("round trip mismatch (%v)", err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestReopenReadsBack(t *testing.T) {
+	withVFD(t, func(p *sim.Proc, newVFD func(*sim.Proc, string, bool) hdf5.VFD) {
+		f, _ := hdf5.Create(p, newVFD(p, "/persist.h5", true), hdf5.DefaultCosts())
+		ds, _ := f.CreateDataset(p, "d1", 1<<20, 0)
+		data := fill(1<<20, 9)
+		ds.Write(p, 0, data)
+		ds2, _ := f.CreateDataset(p, "d2", 4096, 0)
+		ds2.Write(p, 0, fill(4096, 42))
+		f.Close(p)
+
+		g, err := hdf5.Open(p, newVFD(p, "/persist.h5", false), hdf5.DefaultCosts())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		names := g.Datasets()
+		if len(names) != 2 || names[0] != "d1" || names[1] != "d2" {
+			t.Errorf("datasets = %v", names)
+			return
+		}
+		rd, err := g.OpenDataset(p, "d1")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := rd.Read(p, 0, 1<<20)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("reopened read mismatch (%v)", err)
+		}
+		rd2, _ := g.OpenDataset(p, "d2")
+		got, _ = rd2.Read(p, 0, 4096)
+		if !bytes.Equal(got, fill(4096, 42)) {
+			t.Error("second dataset mismatch")
+		}
+	})
+}
+
+func TestChunkedRoundTripAndReopen(t *testing.T) {
+	withVFD(t, func(p *sim.Proc, newVFD func(*sim.Proc, string, bool) hdf5.VFD) {
+		f, _ := hdf5.Create(p, newVFD(p, "/chunked.h5", true), hdf5.DefaultCosts())
+		ds, err := f.CreateDataset(p, "grid", 8<<20, 256<<10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Write a sparse pattern: chunks 0, 3, and a straddle of 30/31.
+		a, b, c := fill(256<<10, 1), fill(256<<10, 2), fill(512<<10, 3)
+		ds.Write(p, 0, a)
+		ds.Write(p, 3*(256<<10), b)
+		ds.Write(p, 8<<20-(512<<10), c)
+		f.Close(p)
+
+		g, err := hdf5.Open(p, newVFD(p, "/chunked.h5", false), hdf5.DefaultCosts())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rd, _ := g.OpenDataset(p, "grid")
+		got, err := rd.Read(p, 0, 256<<10)
+		if err != nil || !bytes.Equal(got, a) {
+			t.Errorf("chunk 0 mismatch (%v)", err)
+		}
+		got, _ = rd.Read(p, 3*(256<<10), 256<<10)
+		if !bytes.Equal(got, b) {
+			t.Error("chunk 3 mismatch")
+		}
+		got, _ = rd.Read(p, 8<<20-(512<<10), 512<<10)
+		if !bytes.Equal(got, c) {
+			t.Error("tail straddle mismatch")
+		}
+		// Unwritten chunk reads as zeros.
+		got, _ = rd.Read(p, 256<<10, 256<<10)
+		if !bytes.Equal(got, make([]byte, 256<<10)) {
+			t.Error("hole not zero")
+		}
+	})
+}
+
+func TestUnalignedDataOffset(t *testing.T) {
+	// The contiguous data offset must NOT be chunk-aligned: that
+	// misalignment is a core mechanism behind HDF5's slowdown over DFuse.
+	withVFD(t, func(p *sim.Proc, newVFD func(*sim.Proc, string, bool) hdf5.VFD) {
+		f, _ := hdf5.Create(p, newVFD(p, "/align.h5", true), hdf5.DefaultCosts())
+		ds, _ := f.CreateDataset(p, "d", 1<<20, 0)
+		if ds.DataOffset()%(1<<20) == 0 {
+			t.Errorf("data offset %d is 1 MiB aligned; HDF5 default layout must not be", ds.DataOffset())
+		}
+		if ds.DataOffset() != 512+256 {
+			t.Errorf("data offset = %d, want 768 (superblock+header)", ds.DataOffset())
+		}
+	})
+}
+
+func TestErrors(t *testing.T) {
+	withVFD(t, func(p *sim.Proc, newVFD func(*sim.Proc, string, bool) hdf5.VFD) {
+		f, _ := hdf5.Create(p, newVFD(p, "/err.h5", true), hdf5.DefaultCosts())
+		if _, err := f.CreateDataset(p, "d", 1024, 0); err != nil {
+			t.Error(err)
+		}
+		if _, err := f.CreateDataset(p, "d", 1024, 0); !errors.Is(err, hdf5.ErrDatasetExists) {
+			t.Errorf("dup err = %v", err)
+		}
+		if _, err := f.OpenDataset(p, "missing"); !errors.Is(err, hdf5.ErrDatasetMissing) {
+			t.Errorf("missing err = %v", err)
+		}
+		ds, _ := f.OpenDataset(p, "d")
+		if err := ds.Write(p, 1000, make([]byte, 100)); !errors.Is(err, hdf5.ErrOutOfBounds) {
+			t.Errorf("oob err = %v", err)
+		}
+		if _, err := ds.Read(p, 0, 2048); !errors.Is(err, hdf5.ErrOutOfBounds) {
+			t.Errorf("oob read err = %v", err)
+		}
+	})
+}
+
+func TestOpenGarbageFails(t *testing.T) {
+	withVFD(t, func(p *sim.Proc, newVFD func(*sim.Proc, string, bool) hdf5.VFD) {
+		vfd := newVFD(p, "/garbage", true)
+		vfd.WriteAt(p, 0, fill(1024, 7))
+		if _, err := hdf5.Open(p, vfd, hdf5.DefaultCosts()); !errors.Is(err, hdf5.ErrNotHDF5) {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestParallelSlabLayout(t *testing.T) {
+	// Shared-file usage: one rank creates the dataset; peers open and write
+	// disjoint slabs (what the IOR HDF5 backend does).
+	withVFD(t, func(p *sim.Proc, newVFD func(*sim.Proc, string, bool) hdf5.VFD) {
+		const ranks, slab = 4, 1 << 18
+		f, _ := hdf5.Create(p, newVFD(p, "/shared.h5", true), hdf5.DefaultCosts())
+		ds, _ := f.CreateDataset(p, "data", ranks*slab, 0)
+		for r := 0; r < ranks; r++ {
+			ds.Write(p, int64(r)*slab, fill(slab, byte(r)))
+		}
+		f.Close(p)
+		g, _ := hdf5.Open(p, newVFD(p, "/shared.h5", false), hdf5.DefaultCosts())
+		rd, _ := g.OpenDataset(p, "data")
+		for r := 0; r < ranks; r++ {
+			got, err := rd.Read(p, int64(r)*slab, slab)
+			if err != nil || !bytes.Equal(got, fill(slab, byte(r))) {
+				t.Errorf("slab %d mismatch (%v)", r, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package ior
+
+import (
+	"testing"
+	"testing/quick"
+
+	"daosim/internal/placement"
+)
+
+// TestOffsetsDisjointAndCovering verifies IOR's core geometry invariant:
+// across all ranks, segments, and transfers, shared-file offsets tile the
+// file exactly — no overlap, no gap.
+func TestOffsetsDisjointAndCovering(t *testing.T) {
+	f := func(ranksB, segB, tpbB uint8) bool {
+		ranks := int(ranksB%6) + 1
+		segments := int(segB%3) + 1
+		tpb := int(tpbB%4) + 1
+		cfg := Config{
+			BlockSize:    int64(tpb) * 4096,
+			TransferSize: 4096,
+			Segments:     segments,
+		}
+		seen := map[int64]bool{}
+		count := 0
+		for r := 0; r < ranks; r++ {
+			for s := 0; s < segments; s++ {
+				for tr := 0; tr < tpb; tr++ {
+					off := cfg.offset(r, ranks, s, tr)
+					if off%cfg.TransferSize != 0 || seen[off] {
+						return false
+					}
+					seen[off] = true
+					count++
+				}
+			}
+		}
+		// The offsets must exactly tile [0, ranks*segments*block).
+		total := int64(ranks) * int64(segments) * cfg.BlockSize
+		if int64(count)*cfg.TransferSize != total {
+			return false
+		}
+		for off := int64(0); off < total; off += cfg.TransferSize {
+			if !seen[off] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFPPOffsetsIndependentOfRank verifies that file-per-process offsets
+// never depend on the rank (each rank owns its whole file).
+func TestFPPOffsetsIndependentOfRank(t *testing.T) {
+	cfg := Config{FilePerProc: true, BlockSize: 1 << 20, TransferSize: 1 << 18, Segments: 3}
+	for s := 0; s < 3; s++ {
+		for tr := 0; tr < 4; tr++ {
+			if cfg.offset(0, 8, s, tr) != cfg.offset(7, 8, s, tr) {
+				t.Fatalf("FPP offset depends on rank at (%d,%d)", s, tr)
+			}
+		}
+	}
+}
+
+// TestOpOrderIsPermutation verifies the -z shuffle visits every op exactly
+// once, for any geometry, and is deterministic per rank.
+func TestOpOrderIsPermutation(t *testing.T) {
+	f := func(rank uint8, segB, tpbB uint8) bool {
+		segments := int(segB%4) + 1
+		tpb := int(tpbB%8) + 1
+		cfg := Config{Segments: segments, RandomOffsets: true}
+		order := cfg.opOrder(int(rank), tpb)
+		again := cfg.opOrder(int(rank), tpb)
+		if len(order) != segments*tpb || len(again) != len(order) {
+			return false
+		}
+		seen := map[[2]int]bool{}
+		for i, st := range order {
+			if st[0] < 0 || st[0] >= segments || st[1] < 0 || st[1] >= tpb || seen[st] {
+				return false
+			}
+			seen[st] = true
+			if again[i] != st { // deterministic
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPatternDeterministicAndRankSensitive pins the data-check pattern.
+func TestPatternDeterministicAndRankSensitive(t *testing.T) {
+	a := make([]byte, 256)
+	b := make([]byte, 256)
+	pattern(a, 3, 4096)
+	pattern(b, 3, 4096)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("pattern not deterministic")
+		}
+	}
+	pattern(b, 4, 4096)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("pattern ignores rank")
+	}
+	// Offset sensitivity, at 8-byte granularity.
+	pattern(b, 3, 4104)
+	if a[8] == b[0] && a[9] == b[1] && a[16] == b[8] && a[17] == b[9] {
+		// shifted pattern must line up when offsets line up
+		return
+	}
+	t.Log("pattern offset alignment differs (acceptable but unexpected)")
+}
+
+var _ = placement.S1 // geometry tests share the package's imports

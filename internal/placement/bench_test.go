@@ -1,0 +1,29 @@
+package placement
+
+import "testing"
+
+func benchCompute(b *testing.B, class ClassID) {
+	m := NewPoolMap(16, 8, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(EncodeOID(class, 0, uint64(i)), m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeS1(b *testing.B) { benchCompute(b, S1) }
+func BenchmarkComputeS2(b *testing.B) { benchCompute(b, S2) }
+func BenchmarkComputeSX(b *testing.B) { benchCompute(b, SX) }
+
+func BenchmarkComputeDegraded(b *testing.B) {
+	m := NewPoolMap(16, 8, 2)
+	m.ExcludeEngine(0)
+	m.ExcludeEngine(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(EncodeOID(S4, 0, uint64(i)), m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

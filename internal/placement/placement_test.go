@@ -1,0 +1,270 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"daosim/internal/vos"
+)
+
+func testMap() *PoolMap { return NewPoolMap(16, 8, 2) } // the NEXTGenIO shape
+
+func TestClassEncoding(t *testing.T) {
+	oid := EncodeOID(S2, 0x1234, 0x5678)
+	if ClassOf(oid) != S2 {
+		t.Fatalf("ClassOf = %v", ClassOf(oid))
+	}
+	if oid.Lo != 0x5678 || oid.Hi&0xFFFFFFFFFFFF != 0x1234 {
+		t.Fatalf("oid fields corrupted: %v", oid)
+	}
+}
+
+func TestClassLookup(t *testing.T) {
+	for _, name := range ClassNames() {
+		c, err := ClassByName(name)
+		if err != nil {
+			t.Fatalf("ClassByName(%s): %v", name, err)
+		}
+		c2, err := LookupClass(c.ID)
+		if err != nil || c2.Name != name {
+			t.Fatalf("round-trip %s: %v %v", name, c2, err)
+		}
+	}
+	if _, err := ClassByName("S3"); err == nil {
+		t.Fatal("unknown class name accepted")
+	}
+	if _, err := LookupClass(ClassID(3)); err == nil {
+		t.Fatal("unknown class id accepted")
+	}
+}
+
+func TestPoolMapShape(t *testing.T) {
+	m := testMap()
+	if len(m.Targets) != 128 {
+		t.Fatalf("targets = %d, want 128", len(m.Targets))
+	}
+	if m.NumEngines() != 16 {
+		t.Fatalf("engines = %d", m.NumEngines())
+	}
+	// Engines 0 and 1 share rank 0; 2 and 3 share rank 1.
+	if m.Targets[0].Rank != 0 || m.Targets[8].Rank != 0 || m.Targets[16].Rank != 1 {
+		t.Fatalf("rank assignment wrong: %+v %+v %+v", m.Targets[0], m.Targets[8], m.Targets[16])
+	}
+}
+
+func TestLayoutShardCounts(t *testing.T) {
+	m := testMap()
+	cases := []struct {
+		class ClassID
+		want  int
+	}{
+		{S1, 1}, {S2, 2}, {S4, 4}, {S8, 8}, {SX, 128},
+	}
+	for _, c := range cases {
+		oid := EncodeOID(c.class, 1, 42)
+		l, err := Compute(oid, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.NumShards() != c.want {
+			t.Fatalf("class %#x shards = %d, want %d", c.class, l.NumShards(), c.want)
+		}
+	}
+}
+
+func TestLayoutDistinctTargets(t *testing.T) {
+	m := testMap()
+	for lo := uint64(0); lo < 100; lo++ {
+		l, err := Compute(EncodeOID(S8, 0, lo), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		for _, sh := range l.Shards {
+			for _, tgt := range sh {
+				if seen[tgt] {
+					t.Fatalf("oid %d: duplicate target %d in layout", lo, tgt)
+				}
+				seen[tgt] = true
+			}
+		}
+	}
+}
+
+func TestLayoutDeterministic(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		m := testMap()
+		oid := EncodeOID(S4, hi%(1<<40), lo)
+		a, err1 := Compute(oid, m)
+		b, err2 := Compute(oid, m)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a.Shards {
+			for r := range a.Shards[i] {
+				if a.Shards[i][r] != b.Shards[i][r] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutBalance(t *testing.T) {
+	// Hash 2000 S1 objects over 128 targets: every target should get a
+	// statistically sane share (mean 15.6; allow a wide band).
+	m := testMap()
+	counts := make([]int, len(m.Targets))
+	for lo := uint64(0); lo < 2000; lo++ {
+		l, err := Compute(EncodeOID(S1, 7, lo), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[l.Leader(0)]++
+	}
+	for id, c := range counts {
+		if c == 0 {
+			t.Fatalf("target %d got no objects", id)
+		}
+		if c > 40 {
+			t.Fatalf("target %d got %d of 2000 objects (mean 15.6): badly unbalanced", id, c)
+		}
+	}
+}
+
+func TestLayoutEngineBalanceSX(t *testing.T) {
+	// An SX object must hit every engine exactly targetsPerEngine times.
+	m := testMap()
+	l, err := Compute(EncodeOID(SX, 0, 99), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perEngine := map[int]int{}
+	for _, sh := range l.Shards {
+		perEngine[m.Targets[sh[0]].Engine]++
+	}
+	for e := 0; e < 16; e++ {
+		if perEngine[e] != 8 {
+			t.Fatalf("engine %d got %d shards, want 8", e, perEngine[e])
+		}
+	}
+}
+
+func TestFailureRemapsMinimally(t *testing.T) {
+	m := testMap()
+	type key struct{ lo uint64 }
+	before := map[uint64]*Layout{}
+	for lo := uint64(0); lo < 500; lo++ {
+		l, err := Compute(EncodeOID(S2, 3, lo), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[lo] = l
+	}
+	// Fail one engine (targets 0..7).
+	m.ExcludeEngine(0)
+	moved, stayed := 0, 0
+	for lo := uint64(0); lo < 500; lo++ {
+		l, err := Compute(EncodeOID(S2, 3, lo), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range l.Shards {
+			if l.Shards[i][0] != before[lo].Shards[i][0] {
+				// Only shards whose old target died may move.
+				if before[lo].Shards[i][0] >= 8 {
+					t.Fatalf("oid %d shard %d moved from healthy target %d", lo, i, before[lo].Shards[i][0])
+				}
+				if l.Shards[i][0] < 8 {
+					t.Fatalf("oid %d shard %d placed on failed target %d", lo, i, l.Shards[i][0])
+				}
+				moved++
+			} else {
+				stayed++
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("engine exclusion moved nothing; test is vacuous")
+	}
+	// Roughly 1/16 of shards lived on engine 0.
+	frac := float64(moved) / float64(moved+stayed)
+	if frac > 0.15 {
+		t.Fatalf("%.1f%% of shards moved; remap is not minimal", frac*100)
+	}
+	_ = key{}
+}
+
+func TestRecoveryRestoresLayout(t *testing.T) {
+	m := testMap()
+	oid := EncodeOID(S4, 0, 77)
+	orig, _ := Compute(oid, m)
+	m.SetTargetState(orig.Leader(0), false)
+	during, _ := Compute(oid, m)
+	if during.Leader(0) == orig.Leader(0) {
+		t.Fatal("layout kept a down target")
+	}
+	m.SetTargetState(orig.Leader(0), true)
+	after, _ := Compute(oid, m)
+	if after.Leader(0) != orig.Leader(0) {
+		t.Fatal("recovered target did not regain its shard")
+	}
+}
+
+func TestReplicatedClasses(t *testing.T) {
+	m := testMap()
+	l, err := Compute(EncodeOID(RP3G1, 0, 5), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumShards() != 1 || len(l.Shards[0]) != 3 {
+		t.Fatalf("RP_3G1 layout = %v", l.Shards)
+	}
+	seen := map[int]bool{}
+	for _, r := range l.Shards[0] {
+		if seen[r] {
+			t.Fatal("replicas share a target")
+		}
+		seen[r] = true
+	}
+}
+
+func TestNoTargetsError(t *testing.T) {
+	m := NewPoolMap(1, 2, 1)
+	m.SetTargetState(0, false)
+	m.SetTargetState(1, false)
+	if _, err := Compute(EncodeOID(S1, 0, 1), m); err == nil {
+		t.Fatal("layout on dead pool succeeded")
+	}
+}
+
+func TestClassTooWideForPool(t *testing.T) {
+	m := NewPoolMap(1, 2, 1) // 2 targets
+	if _, err := Compute(EncodeOID(RP3G1, 0, 1), m); err == nil {
+		t.Fatal("3-replica class on 2-target pool succeeded")
+	}
+	// SX adapts to the pool width instead of failing.
+	l, err := Compute(EncodeOID(SX, 0, 1), m)
+	if err != nil || l.NumShards() != 2 {
+		t.Fatalf("SX on small pool: %v, %v", l, err)
+	}
+}
+
+func TestVersionBumpOnStateChange(t *testing.T) {
+	m := testMap()
+	v := m.Version
+	m.SetTargetState(3, false)
+	if m.Version != v+1 {
+		t.Fatal("version not bumped")
+	}
+	m.SetTargetState(3, false) // no-op
+	if m.Version != v+1 {
+		t.Fatal("no-op state change bumped version")
+	}
+}
+
+var _ = vos.ObjectID{} // keep the import obvious in examples

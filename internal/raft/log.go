@@ -1,0 +1,117 @@
+package raft
+
+import "fmt"
+
+// Entry is one replicated log record. A nil Cmd is the no-op entry a new
+// leader appends to commit entries from earlier terms promptly.
+type Entry struct {
+	Term uint64
+	Cmd  []byte
+}
+
+// raftLog stores the suffix of the replicated log that has not been
+// compacted into a snapshot. Indices are 1-based; index 0 is the empty
+// log sentinel with term 0.
+type raftLog struct {
+	// snapIndex/snapTerm describe the last entry covered by the snapshot.
+	snapIndex uint64
+	snapTerm  uint64
+	// entries holds log records (snapIndex+1 .. snapIndex+len(entries)).
+	entries []Entry
+}
+
+// lastIndex returns the index of the last entry in the log.
+func (l *raftLog) lastIndex() uint64 { return l.snapIndex + uint64(len(l.entries)) }
+
+// lastTerm returns the term of the last entry.
+func (l *raftLog) lastTerm() uint64 { return l.term(l.lastIndex()) }
+
+// firstIndex returns the first index still present (not compacted).
+func (l *raftLog) firstIndex() uint64 { return l.snapIndex + 1 }
+
+// term returns the term of the entry at index i, or 0 for the sentinel.
+// Asking for an index inside the snapshot (other than its last index)
+// panics: callers must consult snapshot metadata first.
+func (l *raftLog) term(i uint64) uint64 {
+	switch {
+	case i == l.snapIndex:
+		return l.snapTerm
+	case i < l.snapIndex:
+		panic(fmt.Sprintf("raft: term(%d) below snapshot %d", i, l.snapIndex))
+	case i > l.lastIndex():
+		panic(fmt.Sprintf("raft: term(%d) beyond last %d", i, l.lastIndex()))
+	default:
+		return l.entries[i-l.snapIndex-1].Term
+	}
+}
+
+// entry returns the entry at index i.
+func (l *raftLog) entry(i uint64) Entry {
+	if i <= l.snapIndex || i > l.lastIndex() {
+		panic(fmt.Sprintf("raft: entry(%d) out of range (%d,%d]", i, l.snapIndex, l.lastIndex()))
+	}
+	return l.entries[i-l.snapIndex-1]
+}
+
+// slice returns entries in [lo, hi] inclusive, copied.
+func (l *raftLog) slice(lo, hi uint64) []Entry {
+	if lo > hi {
+		return nil
+	}
+	if lo <= l.snapIndex || hi > l.lastIndex() {
+		panic(fmt.Sprintf("raft: slice [%d,%d] out of range (%d,%d]", lo, hi, l.snapIndex, l.lastIndex()))
+	}
+	out := make([]Entry, hi-lo+1)
+	copy(out, l.entries[lo-l.snapIndex-1:hi-l.snapIndex])
+	return out
+}
+
+// append adds entries at the tail.
+func (l *raftLog) append(es ...Entry) { l.entries = append(l.entries, es...) }
+
+// truncateFrom discards entries at index i and beyond (conflict resolution).
+func (l *raftLog) truncateFrom(i uint64) {
+	if i <= l.snapIndex {
+		panic(fmt.Sprintf("raft: truncate at %d inside snapshot %d", i, l.snapIndex))
+	}
+	if i > l.lastIndex() {
+		return
+	}
+	l.entries = l.entries[:i-l.snapIndex-1]
+}
+
+// compactTo drops entries up to and including index i, recording the
+// snapshot boundary term.
+func (l *raftLog) compactTo(i uint64) {
+	if i <= l.snapIndex {
+		return
+	}
+	if i > l.lastIndex() {
+		panic(fmt.Sprintf("raft: compact to %d beyond last %d", i, l.lastIndex()))
+	}
+	t := l.term(i)
+	l.entries = append([]Entry(nil), l.entries[i-l.snapIndex:]...)
+	l.snapIndex = i
+	l.snapTerm = t
+}
+
+// resetToSnapshot replaces the whole log with a snapshot boundary (used when
+// installing a snapshot received from the leader).
+func (l *raftLog) resetToSnapshot(index, term uint64) {
+	l.snapIndex = index
+	l.snapTerm = term
+	l.entries = nil
+}
+
+// matches reports whether the log contains an entry at index with the given
+// term (the AppendEntries consistency check).
+func (l *raftLog) matches(index, term uint64) bool {
+	if index < l.snapIndex {
+		// Everything inside the snapshot is committed, hence matching.
+		return true
+	}
+	if index > l.lastIndex() {
+		return false
+	}
+	return l.term(index) == term
+}

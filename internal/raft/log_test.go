@@ -1,0 +1,136 @@
+package raft
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLogBasics(t *testing.T) {
+	var l raftLog
+	if l.lastIndex() != 0 || l.lastTerm() != 0 || l.firstIndex() != 1 {
+		t.Fatalf("empty log: last=%d lastTerm=%d first=%d", l.lastIndex(), l.lastTerm(), l.firstIndex())
+	}
+	l.append(Entry{Term: 1, Cmd: []byte("a")}, Entry{Term: 1, Cmd: []byte("b")}, Entry{Term: 2, Cmd: []byte("c")})
+	if l.lastIndex() != 3 || l.lastTerm() != 2 {
+		t.Fatalf("last=%d lastTerm=%d", l.lastIndex(), l.lastTerm())
+	}
+	if got := string(l.entry(2).Cmd); got != "b" {
+		t.Fatalf("entry(2) = %q", got)
+	}
+	if l.term(0) != 0 || l.term(1) != 1 || l.term(3) != 2 {
+		t.Fatal("term lookups wrong")
+	}
+}
+
+func TestLogSlice(t *testing.T) {
+	var l raftLog
+	for i := 1; i <= 5; i++ {
+		l.append(Entry{Term: uint64(i), Cmd: []byte{byte(i)}})
+	}
+	s := l.slice(2, 4)
+	if len(s) != 3 || s[0].Term != 2 || s[2].Term != 4 {
+		t.Fatalf("slice = %v", s)
+	}
+	if got := l.slice(3, 2); got != nil {
+		t.Fatalf("inverted slice = %v, want nil", got)
+	}
+	// Mutating the returned slice must not affect the log.
+	s[0].Term = 99
+	if l.term(2) != 2 {
+		t.Fatal("slice aliases log storage")
+	}
+}
+
+func TestLogTruncate(t *testing.T) {
+	var l raftLog
+	for i := 1; i <= 5; i++ {
+		l.append(Entry{Term: uint64(i)})
+	}
+	l.truncateFrom(3)
+	if l.lastIndex() != 2 {
+		t.Fatalf("lastIndex = %d after truncate", l.lastIndex())
+	}
+	l.truncateFrom(10) // beyond end is a no-op
+	if l.lastIndex() != 2 {
+		t.Fatal("truncate beyond end changed log")
+	}
+}
+
+func TestLogCompact(t *testing.T) {
+	var l raftLog
+	for i := 1; i <= 10; i++ {
+		l.append(Entry{Term: uint64(i)})
+	}
+	l.compactTo(6)
+	if l.firstIndex() != 7 || l.lastIndex() != 10 {
+		t.Fatalf("first=%d last=%d", l.firstIndex(), l.lastIndex())
+	}
+	if l.term(6) != 6 {
+		t.Fatalf("snapshot boundary term = %d", l.term(6))
+	}
+	if l.term(8) != 8 {
+		t.Fatalf("term(8) = %d", l.term(8))
+	}
+	l.compactTo(3) // below boundary is a no-op
+	if l.firstIndex() != 7 {
+		t.Fatal("stale compact changed log")
+	}
+}
+
+func TestLogMatches(t *testing.T) {
+	var l raftLog
+	l.append(Entry{Term: 1}, Entry{Term: 2})
+	cases := []struct {
+		index, term uint64
+		want        bool
+	}{
+		{0, 0, true}, // sentinel
+		{1, 1, true},
+		{2, 2, true},
+		{2, 1, false}, // wrong term
+		{3, 2, false}, // beyond end
+	}
+	for _, c := range cases {
+		if got := l.matches(c.index, c.term); got != c.want {
+			t.Errorf("matches(%d,%d) = %v, want %v", c.index, c.term, got, c.want)
+		}
+	}
+}
+
+func TestLogResetToSnapshot(t *testing.T) {
+	var l raftLog
+	l.append(Entry{Term: 1}, Entry{Term: 1})
+	l.resetToSnapshot(20, 5)
+	if l.lastIndex() != 20 || l.lastTerm() != 5 || l.firstIndex() != 21 {
+		t.Fatalf("after reset: last=%d lastTerm=%d first=%d", l.lastIndex(), l.lastTerm(), l.firstIndex())
+	}
+}
+
+func TestLogCompactPreservesSuffix(t *testing.T) {
+	// Property: after compacting to any point, the remaining entries are
+	// unchanged and term() agrees with the original log.
+	f := func(terms []uint8, cutFrac uint8) bool {
+		if len(terms) == 0 {
+			return true
+		}
+		var l raftLog
+		for _, tm := range terms {
+			l.append(Entry{Term: uint64(tm) + 1})
+		}
+		orig := make([]uint64, len(terms))
+		for i := range terms {
+			orig[i] = l.term(uint64(i + 1))
+		}
+		cut := uint64(int(cutFrac)%len(terms)) + 1
+		l.compactTo(cut)
+		for i := cut + 1; i <= uint64(len(terms)); i++ {
+			if l.term(i) != orig[i-1] {
+				return false
+			}
+		}
+		return l.term(cut) == orig[cut-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

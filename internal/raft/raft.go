@@ -1,0 +1,759 @@
+// Package raft implements the Raft consensus protocol on top of the
+// simulation kernel: leader election with randomized timeouts, log
+// replication with the AppendEntries consistency check, commitment by
+// majority match, snapshot-based log compaction, and InstallSnapshot for
+// followers that have fallen behind a compaction point.
+//
+// DAOS uses Raft for its pool service (management metadata: pools,
+// containers, handles); package svc builds that state machine on top of
+// this package. The implementation follows the Raft paper (Ongaro &
+// Ousterhout, 2014) and, because the simulator is single-threaded
+// deterministic, needs no locking.
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"daosim/internal/sim"
+)
+
+// Role is a node's current protocol role.
+type Role int
+
+// Raft roles.
+const (
+	Follower Role = iota
+	Candidate
+	Leader
+)
+
+func (r Role) String() string {
+	switch r {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return "unknown"
+	}
+}
+
+// Errors returned by Propose futures.
+var (
+	// ErrNotLeader reports a proposal sent to a non-leader; LeaderHint on
+	// the wrapped error carries the caller's best redirect target.
+	ErrNotLeader = errors.New("raft: not leader")
+	// ErrLostLeadership reports a proposal whose entry was overwritten
+	// after a leadership change; the command may or may not have applied.
+	ErrLostLeadership = errors.New("raft: lost leadership before commit")
+	// ErrStopped reports a proposal to a stopped node.
+	ErrStopped = errors.New("raft: node stopped")
+)
+
+// NotLeaderError wraps ErrNotLeader with a redirect hint.
+type NotLeaderError struct {
+	LeaderHint int // -1 when unknown
+}
+
+func (e *NotLeaderError) Error() string {
+	return fmt.Sprintf("raft: not leader (hint %d)", e.LeaderHint)
+}
+
+// Unwrap lets errors.Is(err, ErrNotLeader) succeed.
+func (e *NotLeaderError) Unwrap() error { return ErrNotLeader }
+
+// StateMachine is the replicated application. Apply must be deterministic.
+type StateMachine interface {
+	// Apply executes a committed command and returns its result.
+	Apply(index uint64, cmd []byte) interface{}
+	// Snapshot serializes the full state for log compaction.
+	Snapshot() []byte
+	// Restore replaces the state from a snapshot.
+	Restore(snap []byte)
+}
+
+// Transport carries messages between nodes. Size is the approximate on-wire
+// byte count, used only for timing.
+type Transport interface {
+	Send(p *sim.Proc, from, to int, m interface{}, size int64)
+}
+
+// Config parameterizes a node.
+type Config struct {
+	ID    int
+	Peers []int // all cluster member IDs, including this node
+	// ElectionTimeoutMin/Max bound the randomized election timeout.
+	ElectionTimeoutMin time.Duration
+	ElectionTimeoutMax time.Duration
+	// HeartbeatInterval is the leader's idle AppendEntries period.
+	HeartbeatInterval time.Duration
+	// MaxEntriesPerAppend bounds a single AppendEntries payload.
+	MaxEntriesPerAppend int
+	// SnapshotThreshold triggers log compaction once this many entries
+	// have been applied since the last snapshot. Zero disables.
+	SnapshotThreshold int
+}
+
+// DefaultConfig returns production-style timeouts for node id in peers.
+func DefaultConfig(id int, peers []int) Config {
+	return Config{
+		ID:                  id,
+		Peers:               peers,
+		ElectionTimeoutMin:  150 * time.Millisecond,
+		ElectionTimeoutMax:  300 * time.Millisecond,
+		HeartbeatInterval:   50 * time.Millisecond,
+		MaxEntriesPerAppend: 64,
+		SnapshotThreshold:   1024,
+	}
+}
+
+// Message types exchanged between nodes.
+type (
+	// RequestVote solicits a vote for a candidate.
+	RequestVote struct {
+		Term         uint64
+		Candidate    int
+		LastLogIndex uint64
+		LastLogTerm  uint64
+	}
+	// RequestVoteResp answers a RequestVote.
+	RequestVoteResp struct {
+		Term    uint64
+		From    int
+		Granted bool
+	}
+	// AppendEntries replicates log entries and doubles as heartbeat.
+	AppendEntries struct {
+		Term         uint64
+		Leader       int
+		PrevLogIndex uint64
+		PrevLogTerm  uint64
+		Entries      []Entry
+		LeaderCommit uint64
+	}
+	// AppendEntriesResp answers an AppendEntries.
+	AppendEntriesResp struct {
+		Term       uint64
+		From       int
+		Success    bool
+		MatchIndex uint64
+		// ConflictIndex speeds up backtracking on mismatch.
+		ConflictIndex uint64
+	}
+	// InstallSnapshot transfers compacted state to a lagging follower.
+	InstallSnapshot struct {
+		Term      uint64
+		Leader    int
+		LastIndex uint64
+		LastTerm  uint64
+		Data      []byte
+	}
+	// InstallSnapshotResp acknowledges snapshot installation.
+	InstallSnapshotResp struct {
+		Term      uint64
+		From      int
+		LastIndex uint64
+	}
+)
+
+// internal mailbox messages
+type (
+	electionTimeout struct{ gen uint64 }
+	heartbeatTick   struct{ gen uint64 }
+	proposal        struct {
+		cmd []byte
+		fut *Future
+	}
+)
+
+// Future is the pending result of a Propose.
+type Future struct {
+	sim     *sim.Sim
+	done    bool
+	val     interface{}
+	err     error
+	waiters []*sim.Proc
+}
+
+func newFuture(s *sim.Sim) *Future { return &Future{sim: s} }
+
+// complete resolves the future and wakes waiters.
+func (f *Future) complete(v interface{}, err error) {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.val = v
+	f.err = err
+	for _, w := range f.waiters {
+		f.sim.Unpark(w)
+	}
+	f.waiters = nil
+}
+
+// Wait blocks p until the proposal resolves.
+func (f *Future) Wait(p *sim.Proc) (interface{}, error) {
+	if !f.done {
+		f.waiters = append(f.waiters, p)
+		p.ParkIdle()
+	}
+	return f.val, f.err
+}
+
+// Node is one Raft participant.
+type Node struct {
+	cfg  Config
+	sim  *sim.Sim
+	tr   Transport
+	sm   StateMachine
+	rng  *sim.RNG
+	mbox *sim.Queue
+
+	// Persistent state (survives Kill/Restart).
+	term     uint64
+	votedFor int // -1 none
+	log      raftLog
+	snapshot []byte
+
+	// Volatile state.
+	role        Role
+	leaderHint  int
+	commitIndex uint64
+	lastApplied uint64
+	votes       map[int]bool
+	nextIndex   map[int]uint64
+	matchIndex  map[int]uint64
+	pending     map[uint64]*pendingProposal
+	timerGen    uint64
+	hbGen       uint64
+	killed      bool
+	stopped     bool
+
+	appliedSinceSnap int
+
+	// Observability hooks.
+	Applied   uint64 // count of entries applied
+	Elections int    // elections started by this node
+}
+
+type pendingProposal struct {
+	term uint64
+	fut  *Future
+}
+
+// NewNode creates a node and starts its event loop on the simulator.
+func NewNode(s *sim.Sim, cfg Config, tr Transport, smFactory func() StateMachine) *Node {
+	if len(cfg.Peers) == 0 {
+		panic("raft: empty peer set")
+	}
+	n := &Node{
+		cfg:        cfg,
+		sim:        s,
+		tr:         tr,
+		sm:         smFactory(),
+		rng:        s.RNG().Fork(),
+		mbox:       sim.NewQueue(s, fmt.Sprintf("raft-%d", cfg.ID)),
+		votedFor:   -1,
+		leaderHint: -1,
+		pending:    make(map[uint64]*pendingProposal),
+	}
+	s.Spawn(fmt.Sprintf("raft-%d", cfg.ID), n.run)
+	n.resetElectionTimer()
+	return n
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() int { return n.cfg.ID }
+
+// Role returns the node's current role.
+func (n *Node) Role() Role { return n.role }
+
+// Term returns the node's current term.
+func (n *Node) Term() uint64 { return n.term }
+
+// LeaderHint returns the last known leader, or -1.
+func (n *Node) LeaderHint() int { return n.leaderHint }
+
+// CommitIndex returns the highest committed log index.
+func (n *Node) CommitIndex() uint64 { return n.commitIndex }
+
+// Mailbox exposes the node's message queue so a transport can deliver to it.
+func (n *Node) Mailbox() *sim.Queue { return n.mbox }
+
+// StateMachineRef returns the node's state machine (for inspection).
+func (n *Node) StateMachineRef() StateMachine { return n.sm }
+
+// Propose submits a command. The returned future resolves with the state
+// machine's Apply result once the entry commits, or with an error.
+func (n *Node) Propose(cmd []byte) *Future {
+	fut := newFuture(n.sim)
+	if n.stopped || n.killed {
+		fut.complete(nil, ErrStopped)
+		return fut
+	}
+	n.mbox.Send(proposal{cmd: cmd, fut: fut})
+	return fut
+}
+
+// Kill simulates a crash: the node stops responding but keeps its
+// persistent state. Use Restart to bring it back.
+func (n *Node) Kill() {
+	n.killed = true
+	n.role = Follower
+	n.timerGen++
+	n.hbGen++
+	n.failPending(ErrLostLeadership)
+}
+
+// Restart recovers a killed node as a follower.
+func (n *Node) Restart() {
+	if n.stopped {
+		panic("raft: restart of stopped node")
+	}
+	n.killed = false
+	n.role = Follower
+	n.votes = nil
+	n.resetElectionTimer()
+}
+
+// Stop permanently shuts the node down, ending its event loop.
+func (n *Node) Stop() {
+	if n.stopped {
+		return
+	}
+	n.stopped = true
+	n.timerGen++
+	n.hbGen++
+	n.failPending(ErrStopped)
+	n.mbox.Close()
+}
+
+func (n *Node) failPending(err error) {
+	for idx, pp := range n.pending {
+		pp.fut.complete(nil, err)
+		delete(n.pending, idx)
+	}
+}
+
+// run is the node's event loop.
+func (n *Node) run(p *sim.Proc) {
+	for {
+		m, ok := n.mbox.Recv(p)
+		if !ok {
+			return // stopped
+		}
+		if n.stopped {
+			return
+		}
+		if n.killed {
+			if pr, isProp := m.(proposal); isProp {
+				pr.fut.complete(nil, ErrStopped)
+			}
+			continue // crashed nodes drop traffic
+		}
+		n.dispatch(p, m)
+	}
+}
+
+func (n *Node) dispatch(p *sim.Proc, m interface{}) {
+	switch v := m.(type) {
+	case electionTimeout:
+		if v.gen == n.timerGen && n.role != Leader {
+			n.startElection(p)
+		}
+	case heartbeatTick:
+		if v.gen == n.hbGen && n.role == Leader {
+			n.broadcastAppend(p)
+			n.scheduleHeartbeat()
+		}
+	case proposal:
+		n.handlePropose(p, v)
+	case RequestVote:
+		n.handleRequestVote(p, v)
+	case RequestVoteResp:
+		n.handleVoteResp(p, v)
+	case AppendEntries:
+		n.handleAppendEntries(p, v)
+	case AppendEntriesResp:
+		n.handleAppendResp(p, v)
+	case InstallSnapshot:
+		n.handleInstallSnapshot(p, v)
+	case InstallSnapshotResp:
+		n.handleSnapshotResp(p, v)
+	default:
+		panic(fmt.Sprintf("raft: unknown message %T", m))
+	}
+}
+
+// --- timers ---
+
+func (n *Node) resetElectionTimer() {
+	n.timerGen++
+	gen := n.timerGen
+	span := n.cfg.ElectionTimeoutMax - n.cfg.ElectionTimeoutMin
+	d := n.cfg.ElectionTimeoutMin + time.Duration(n.rng.Int63()%int64(span+1))
+	n.sim.After(d, func() {
+		if !n.stopped && !n.killed {
+			n.mbox.Send(electionTimeout{gen: gen})
+		}
+	})
+}
+
+func (n *Node) scheduleHeartbeat() {
+	gen := n.hbGen
+	n.sim.After(n.cfg.HeartbeatInterval, func() {
+		if !n.stopped && !n.killed {
+			n.mbox.Send(heartbeatTick{gen: gen})
+		}
+	})
+}
+
+// --- elections ---
+
+func (n *Node) becomeFollower(term uint64, leader int) {
+	if term > n.term {
+		n.term = term
+		n.votedFor = -1
+	}
+	if n.role == Leader {
+		n.hbGen++ // stop heartbeats
+		n.failPending(ErrLostLeadership)
+	}
+	n.role = Follower
+	if leader >= 0 {
+		n.leaderHint = leader
+	}
+	n.resetElectionTimer()
+}
+
+func (n *Node) startElection(p *sim.Proc) {
+	n.role = Candidate
+	n.term++
+	n.votedFor = n.cfg.ID
+	n.votes = map[int]bool{n.cfg.ID: true}
+	n.Elections++
+	n.resetElectionTimer()
+	req := RequestVote{
+		Term:         n.term,
+		Candidate:    n.cfg.ID,
+		LastLogIndex: n.log.lastIndex(),
+		LastLogTerm:  n.log.lastTerm(),
+	}
+	for _, peer := range n.cfg.Peers {
+		if peer == n.cfg.ID {
+			continue
+		}
+		n.tr.Send(p, n.cfg.ID, peer, req, 64)
+	}
+	n.maybeWinElection(p) // single-node cluster wins immediately
+}
+
+func (n *Node) handleRequestVote(p *sim.Proc, m RequestVote) {
+	if m.Term > n.term {
+		n.becomeFollower(m.Term, -1)
+	}
+	granted := false
+	if m.Term == n.term && (n.votedFor == -1 || n.votedFor == m.Candidate) {
+		// Election restriction: candidate's log must be at least as
+		// up-to-date as ours.
+		upToDate := m.LastLogTerm > n.log.lastTerm() ||
+			(m.LastLogTerm == n.log.lastTerm() && m.LastLogIndex >= n.log.lastIndex())
+		if upToDate {
+			granted = true
+			n.votedFor = m.Candidate
+			n.resetElectionTimer()
+		}
+	}
+	n.tr.Send(p, n.cfg.ID, m.Candidate, RequestVoteResp{Term: n.term, From: n.cfg.ID, Granted: granted}, 32)
+}
+
+func (n *Node) handleVoteResp(p *sim.Proc, m RequestVoteResp) {
+	if m.Term > n.term {
+		n.becomeFollower(m.Term, -1)
+		return
+	}
+	if n.role != Candidate || m.Term != n.term || !m.Granted {
+		return
+	}
+	n.votes[m.From] = true
+	n.maybeWinElection(p)
+}
+
+func (n *Node) maybeWinElection(p *sim.Proc) {
+	if n.role != Candidate || len(n.votes) < n.quorum() {
+		return
+	}
+	n.role = Leader
+	n.leaderHint = n.cfg.ID
+	n.nextIndex = make(map[int]uint64)
+	n.matchIndex = make(map[int]uint64)
+	for _, peer := range n.cfg.Peers {
+		n.nextIndex[peer] = n.log.lastIndex() + 1
+		n.matchIndex[peer] = 0
+	}
+	n.matchIndex[n.cfg.ID] = n.log.lastIndex()
+	// Commit a no-op from the new term to unblock earlier-term entries
+	// (Raft paper §5.4.2).
+	n.log.append(Entry{Term: n.term, Cmd: nil})
+	n.matchIndex[n.cfg.ID] = n.log.lastIndex()
+	n.hbGen++
+	n.broadcastAppend(p)
+	n.scheduleHeartbeat()
+	n.advanceCommit()
+}
+
+func (n *Node) quorum() int { return len(n.cfg.Peers)/2 + 1 }
+
+// --- replication ---
+
+func (n *Node) handlePropose(p *sim.Proc, pr proposal) {
+	if n.role != Leader {
+		pr.fut.complete(nil, &NotLeaderError{LeaderHint: n.leaderHint})
+		return
+	}
+	n.log.append(Entry{Term: n.term, Cmd: pr.cmd})
+	idx := n.log.lastIndex()
+	n.matchIndex[n.cfg.ID] = idx
+	n.pending[idx] = &pendingProposal{term: n.term, fut: pr.fut}
+	n.broadcastAppend(p)
+	n.advanceCommit()
+}
+
+func (n *Node) broadcastAppend(p *sim.Proc) {
+	for _, peer := range n.cfg.Peers {
+		if peer == n.cfg.ID {
+			continue
+		}
+		n.sendAppend(p, peer)
+	}
+}
+
+func (n *Node) sendAppend(p *sim.Proc, peer int) {
+	next := n.nextIndex[peer]
+	if next <= n.log.snapIndex {
+		// Peer needs entries we compacted: ship the snapshot.
+		m := InstallSnapshot{
+			Term:      n.term,
+			Leader:    n.cfg.ID,
+			LastIndex: n.log.snapIndex,
+			LastTerm:  n.log.snapTerm,
+			Data:      n.snapshot,
+		}
+		n.tr.Send(p, n.cfg.ID, peer, m, int64(64+len(n.snapshot)))
+		return
+	}
+	prev := next - 1
+	hi := n.log.lastIndex()
+	if max := next + uint64(n.cfg.MaxEntriesPerAppend) - 1; n.cfg.MaxEntriesPerAppend > 0 && hi > max {
+		hi = max
+	}
+	var entries []Entry
+	if hi >= next {
+		entries = n.log.slice(next, hi)
+	}
+	m := AppendEntries{
+		Term:         n.term,
+		Leader:       n.cfg.ID,
+		PrevLogIndex: prev,
+		PrevLogTerm:  n.log.term(prev),
+		Entries:      entries,
+		LeaderCommit: n.commitIndex,
+	}
+	size := int64(64)
+	for _, e := range entries {
+		size += int64(32 + len(e.Cmd))
+	}
+	n.tr.Send(p, n.cfg.ID, peer, m, size)
+}
+
+func (n *Node) handleAppendEntries(p *sim.Proc, m AppendEntries) {
+	if m.Term > n.term || (m.Term == n.term && n.role != Follower) {
+		n.becomeFollower(m.Term, m.Leader)
+	}
+	resp := AppendEntriesResp{Term: n.term, From: n.cfg.ID}
+	if m.Term < n.term {
+		n.tr.Send(p, n.cfg.ID, m.Leader, resp, 48)
+		return
+	}
+	n.leaderHint = m.Leader
+	n.resetElectionTimer()
+	if !n.log.matches(m.PrevLogIndex, m.PrevLogTerm) {
+		// Conflict: tell the leader where our log ends so it can back up
+		// in one round instead of one index at a time.
+		ci := n.log.lastIndex() + 1
+		if m.PrevLogIndex <= n.log.lastIndex() {
+			ci = m.PrevLogIndex // mismatching term at PrevLogIndex
+			for ci > n.log.firstIndex() && n.log.term(ci-1) == n.log.term(m.PrevLogIndex) {
+				ci--
+			}
+		}
+		resp.ConflictIndex = ci
+		n.tr.Send(p, n.cfg.ID, m.Leader, resp, 48)
+		return
+	}
+	// Append any entries not already in the log, truncating conflicts.
+	for i, e := range m.Entries {
+		idx := m.PrevLogIndex + 1 + uint64(i)
+		if idx <= n.log.snapIndex {
+			continue // already compacted, hence committed
+		}
+		if idx <= n.log.lastIndex() {
+			if n.log.term(idx) == e.Term {
+				continue
+			}
+			n.log.truncateFrom(idx)
+		}
+		n.log.append(e)
+	}
+	if m.LeaderCommit > n.commitIndex {
+		n.commitIndex = min64(m.LeaderCommit, n.log.lastIndex())
+		n.applyCommitted()
+	}
+	resp.Success = true
+	resp.MatchIndex = m.PrevLogIndex + uint64(len(m.Entries))
+	n.tr.Send(p, n.cfg.ID, m.Leader, resp, 48)
+}
+
+func (n *Node) handleAppendResp(p *sim.Proc, m AppendEntriesResp) {
+	if m.Term > n.term {
+		n.becomeFollower(m.Term, -1)
+		return
+	}
+	if n.role != Leader || m.Term != n.term {
+		return
+	}
+	if m.Success {
+		if m.MatchIndex > n.matchIndex[m.From] {
+			n.matchIndex[m.From] = m.MatchIndex
+		}
+		if m.MatchIndex+1 > n.nextIndex[m.From] {
+			n.nextIndex[m.From] = m.MatchIndex + 1
+		}
+		n.advanceCommit()
+		if n.nextIndex[m.From] <= n.log.lastIndex() {
+			n.sendAppend(p, m.From) // keep streaming backlog
+		}
+		return
+	}
+	// Back up using the follower's conflict hint.
+	next := m.ConflictIndex
+	if next < 1 {
+		next = 1
+	}
+	if next < n.nextIndex[m.From] {
+		n.nextIndex[m.From] = next
+	} else if n.nextIndex[m.From] > 1 {
+		n.nextIndex[m.From]--
+	}
+	n.sendAppend(p, m.From)
+}
+
+// advanceCommit moves commitIndex to the highest index replicated on a
+// quorum with an entry from the current term (Raft §5.4.2).
+func (n *Node) advanceCommit() {
+	if n.role != Leader {
+		return
+	}
+	for idx := n.log.lastIndex(); idx > n.commitIndex && idx >= n.log.firstIndex(); idx-- {
+		if n.log.term(idx) != n.term {
+			break
+		}
+		count := 0
+		for _, peer := range n.cfg.Peers {
+			if n.matchIndex[peer] >= idx {
+				count++
+			}
+		}
+		if count >= n.quorum() {
+			n.commitIndex = idx
+			n.applyCommitted()
+			break
+		}
+	}
+}
+
+// applyCommitted applies entries up to commitIndex and resolves futures.
+func (n *Node) applyCommitted() {
+	for n.lastApplied < n.commitIndex {
+		n.lastApplied++
+		e := n.log.entry(n.lastApplied)
+		var result interface{}
+		if e.Cmd != nil {
+			result = n.sm.Apply(n.lastApplied, e.Cmd)
+		}
+		n.Applied++
+		n.appliedSinceSnap++
+		if pp, ok := n.pending[n.lastApplied]; ok {
+			delete(n.pending, n.lastApplied)
+			if pp.term == e.Term {
+				pp.fut.complete(result, nil)
+			} else {
+				pp.fut.complete(nil, ErrLostLeadership)
+			}
+		}
+	}
+	n.maybeCompact()
+}
+
+// maybeCompact snapshots the state machine and truncates the log.
+func (n *Node) maybeCompact() {
+	if n.cfg.SnapshotThreshold <= 0 || n.appliedSinceSnap < n.cfg.SnapshotThreshold {
+		return
+	}
+	n.snapshot = n.sm.Snapshot()
+	n.log.compactTo(n.lastApplied)
+	n.appliedSinceSnap = 0
+}
+
+func (n *Node) handleInstallSnapshot(p *sim.Proc, m InstallSnapshot) {
+	if m.Term > n.term || (m.Term == n.term && n.role != Follower) {
+		n.becomeFollower(m.Term, m.Leader)
+	}
+	resp := InstallSnapshotResp{Term: n.term, From: n.cfg.ID}
+	if m.Term < n.term {
+		n.tr.Send(p, n.cfg.ID, m.Leader, resp, 48)
+		return
+	}
+	n.leaderHint = m.Leader
+	n.resetElectionTimer()
+	if m.LastIndex > n.commitIndex {
+		n.sm.Restore(m.Data)
+		n.snapshot = m.Data
+		n.log.resetToSnapshot(m.LastIndex, m.LastTerm)
+		n.commitIndex = m.LastIndex
+		n.lastApplied = m.LastIndex
+		n.appliedSinceSnap = 0
+	}
+	resp.LastIndex = m.LastIndex
+	n.tr.Send(p, n.cfg.ID, m.Leader, resp, 48)
+}
+
+func (n *Node) handleSnapshotResp(p *sim.Proc, m InstallSnapshotResp) {
+	if m.Term > n.term {
+		n.becomeFollower(m.Term, -1)
+		return
+	}
+	if n.role != Leader || m.Term != n.term {
+		return
+	}
+	if m.LastIndex >= n.nextIndex[m.From] {
+		n.nextIndex[m.From] = m.LastIndex + 1
+	}
+	if m.LastIndex > n.matchIndex[m.From] {
+		n.matchIndex[m.From] = m.LastIndex
+	}
+	if n.nextIndex[m.From] <= n.log.lastIndex() {
+		n.sendAppend(p, m.From)
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

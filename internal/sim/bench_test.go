@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkEventScheduling(b *testing.B) {
+	s := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if s.queue.Len() > 4096 {
+			s.RunUntil(s.Now() + time.Millisecond)
+		}
+	}
+	s.Run()
+}
+
+func BenchmarkProcessSwitch(b *testing.B) {
+	// Measures the goroutine-handoff cost of one Sleep round trip.
+	s := New(1)
+	n := b.N
+	s.Spawn("p", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(time.Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	s.Run()
+}
+
+func BenchmarkSharedBWManyFlows(b *testing.B) {
+	// Fair-share recomputation with 64 concurrent flows.
+	s := New(1)
+	bw := NewSharedBW(s, "link", 1e12, 0)
+	n := b.N
+	for f := 0; f < 64; f++ {
+		s.Spawn("flow", func(p *Proc) {
+			for i := 0; i < n/64+1; i++ {
+				bw.Transfer(p, 1<<20)
+			}
+		})
+	}
+	b.ResetTimer()
+	s.Run()
+}
+
+func BenchmarkResourceContention(b *testing.B) {
+	s := New(1)
+	r := NewResource(s, "xs", 4)
+	n := b.N
+	for w := 0; w < 16; w++ {
+		s.Spawn("w", func(p *Proc) {
+			for i := 0; i < n/16+1; i++ {
+				r.Use(p, time.Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	s.Run()
+}
+
+func BenchmarkRNG(b *testing.B) {
+	r := NewRNG(7)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

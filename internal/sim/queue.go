@@ -1,0 +1,75 @@
+package sim
+
+// Queue is an unbounded FIFO message queue between simulated processes,
+// playing the role Go channels play for real goroutines. Receivers block in
+// arrival order when the queue is empty; senders never block. It is the
+// mailbox primitive used by the Raft nodes and RPC dispatchers.
+type Queue struct {
+	sim     *Sim
+	name    string
+	items   []interface{}
+	waiters []*Proc
+	closed  bool
+}
+
+// NewQueue returns an empty queue bound to s.
+func NewQueue(s *Sim, name string) *Queue {
+	return &Queue{sim: s, name: name}
+}
+
+// Send enqueues v and wakes the oldest blocked receiver, if any. Sending on
+// a closed queue panics, mirroring Go channel semantics.
+func (q *Queue) Send(v interface{}) {
+	if q.closed {
+		panic("sim: send on closed queue " + q.name)
+	}
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.sim.unpark(w)
+	}
+}
+
+// Recv dequeues the oldest message, blocking p until one is available. The
+// second result is false if the queue was closed and drained.
+func (q *Queue) Recv(p *Proc) (interface{}, bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.waiters = append(q.waiters, p)
+		p.ParkIdle() // idle, not deadlocked: server loops legitimately wait here
+	}
+	v := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return v, true
+}
+
+// TryRecv dequeues without blocking; ok is false when empty.
+func (q *Queue) TryRecv() (v interface{}, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v = q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Close marks the queue closed and wakes every blocked receiver so it can
+// observe the closure.
+func (q *Queue) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, w := range q.waiters {
+		q.sim.unpark(w)
+	}
+	q.waiters = nil
+}
+
+// Len returns the number of queued messages.
+func (q *Queue) Len() int { return len(q.items) }

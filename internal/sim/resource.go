@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Resource is a counted resource with FIFO admission, equivalent to a
+// capacity-bounded server pool (e.g. the service xstreams of a DAOS engine
+// target). Processes that Acquire beyond capacity queue in arrival order.
+type Resource struct {
+	sim      *Sim
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+
+	// Busy accumulates capacity-seconds of use for utilisation reporting.
+	busy     time.Duration
+	lastTick time.Duration
+
+	// MaxQueue tracks the longest observed waiter queue.
+	MaxQueue int
+}
+
+// NewResource returns a resource with the given concurrency capacity.
+func NewResource(s *Sim, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{sim: s, name: name, capacity: capacity}
+}
+
+// Sim returns the owning simulator.
+func (r *Resource) Sim() *Sim { return r.sim }
+
+func (r *Resource) account() {
+	r.busy += time.Duration(r.inUse) * (r.sim.now - r.lastTick)
+	r.lastTick = r.sim.now
+}
+
+// Acquire takes one unit of the resource, blocking p FIFO if none is free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity {
+		r.account()
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	if len(r.waiters) > r.MaxQueue {
+		r.MaxQueue = len(r.waiters)
+	}
+	p.park()
+}
+
+// Release returns one unit. If processes are queued the head inherits the
+// unit directly, preserving FIFO order.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
+	}
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.sim.unpark(w) // the unit passes to w; inUse unchanged
+		return
+	}
+	r.account()
+	r.inUse--
+}
+
+// Use runs the resource for d: acquire, hold for d, release.
+func (r *Resource) Use(p *Proc, d time.Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// Utilisation returns mean busy fraction over the run so far.
+func (r *Resource) Utilisation() float64 {
+	r.account()
+	total := time.Duration(r.capacity) * r.sim.now
+	if total == 0 {
+		return 0
+	}
+	return float64(r.busy) / float64(total)
+}
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// SharedBW models a bandwidth resource under processor sharing: N concurrent
+// transfers each progress at Rate/N (optionally clamped to a per-flow cap).
+// This is the standard fluid model for links, NICs and storage media
+// channels, and it is what makes contention curves realistic: adding flows
+// stretches everyone's completion time, and completions are recomputed at
+// every arrival/departure instant.
+type SharedBW struct {
+	sim  *Sim
+	name string
+	// rate is the aggregate capacity in bytes per second.
+	rate float64
+	// flowCap, if positive, limits any single flow to this many bytes/s
+	// (e.g. a single QP / endpoint processing ceiling).
+	flowCap float64
+
+	// flows is kept in arrival order: simultaneous completions must wake
+	// their processes deterministically, so no map iteration here.
+	flows    []*flow
+	last     time.Duration
+	pending  *event
+	gen      uint64
+	moved    float64 // total bytes completed, for accounting
+	maxFlows int
+}
+
+type flow struct {
+	remaining float64
+	proc      *Proc
+}
+
+// NewSharedBW returns a fair-shared bandwidth resource of rate bytes/s.
+// flowCap > 0 additionally caps each individual flow.
+func NewSharedBW(s *Sim, name string, rate, flowCap float64) *SharedBW {
+	if rate <= 0 {
+		panic("sim: SharedBW rate must be positive")
+	}
+	return &SharedBW{sim: s, name: name, rate: rate, flowCap: flowCap}
+}
+
+// Rate returns the aggregate capacity in bytes/s.
+func (b *SharedBW) Rate() float64 { return b.rate }
+
+// perFlow returns the current per-flow service rate in bytes/s.
+func (b *SharedBW) perFlow() float64 {
+	n := len(b.flows)
+	if n == 0 {
+		return 0
+	}
+	r := b.rate / float64(n)
+	if b.flowCap > 0 && r > b.flowCap {
+		r = b.flowCap
+	}
+	return r
+}
+
+// advance credits progress to all active flows for the time since last.
+func (b *SharedBW) advance() {
+	now := b.sim.now
+	if now == b.last {
+		return
+	}
+	elapsed := now - b.last
+	b.last = now
+	if len(b.flows) == 0 {
+		return
+	}
+	credit := b.perFlow() * elapsed.Seconds()
+	for _, f := range b.flows {
+		f.remaining -= credit
+		b.moved += credit
+	}
+}
+
+// reschedule cancels any pending completion event and schedules the next.
+func (b *SharedBW) reschedule() {
+	if b.pending != nil {
+		b.pending.cancel()
+		b.pending = nil
+	}
+	if len(b.flows) == 0 {
+		return
+	}
+	minRem := math.Inf(1)
+	for _, f := range b.flows {
+		if f.remaining < minRem {
+			minRem = f.remaining
+		}
+	}
+	rate := b.perFlow()
+	dt := time.Duration(math.Ceil(minRem / rate * 1e9)) // seconds -> ns, round up
+	if dt < 0 {
+		dt = 0
+	}
+	b.gen++
+	gen := b.gen
+	b.pending = b.sim.After(dt, func() {
+		if gen != b.gen {
+			return
+		}
+		b.pending = nil
+		b.complete()
+	})
+}
+
+// complete finishes every flow whose remaining bytes have drained, waking
+// them in arrival order.
+func (b *SharedBW) complete() {
+	b.advance()
+	const eps = 0.5 // half a byte of float slack
+	live := b.flows[:0]
+	for _, f := range b.flows {
+		if f.remaining <= eps {
+			b.sim.unpark(f.proc)
+		} else {
+			live = append(live, f)
+		}
+	}
+	for i := len(live); i < len(b.flows); i++ {
+		b.flows[i] = nil
+	}
+	b.flows = live
+	b.reschedule()
+}
+
+// Transfer moves size bytes through the shared resource, blocking p until the
+// flow completes under fair sharing. Zero or negative sizes return
+// immediately.
+func (b *SharedBW) Transfer(p *Proc, size int64) {
+	if size <= 0 {
+		return
+	}
+	b.advance()
+	f := &flow{remaining: float64(size), proc: p}
+	b.flows = append(b.flows, f)
+	if len(b.flows) > b.maxFlows {
+		b.maxFlows = len(b.flows)
+	}
+	b.reschedule()
+	p.park()
+}
+
+// Active returns the number of in-flight flows.
+func (b *SharedBW) Active() int { return len(b.flows) }
+
+// MaxFlows returns the peak number of concurrent flows observed.
+func (b *SharedBW) MaxFlows() int { return b.maxFlows }
+
+// BytesMoved returns total bytes transferred so far.
+func (b *SharedBW) BytesMoved() float64 {
+	b.advance()
+	return b.moved
+}

@@ -1,0 +1,270 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel drives every timed component in this repository: storage media,
+// network fabric, DAOS engines, and the benchmark clients. Simulated
+// "processes" are ordinary goroutines that cooperate with a single scheduler
+// goroutine through strict channel handoff, so exactly one goroutine runs at
+// any instant and event ordering is fully deterministic: events fire in
+// (time, insertion-sequence) order.
+//
+// The design follows the classic process-interaction style (SimPy, CSIM):
+// a process calls Sleep, acquires Resources, transfers bytes over SharedBW
+// links, or blocks on Queues, and the scheduler advances virtual time between
+// those interactions. Virtual time is a time.Duration measured from the start
+// of the run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Sim is a discrete-event scheduler. The zero value is not usable; call New.
+type Sim struct {
+	now    time.Duration
+	seq    uint64
+	queue  eventHeap
+	yield  chan struct{} // process -> scheduler handoff
+	nproc  int           // live (spawned, not yet finished) processes
+	parked int           // processes blocked on a resource/queue (no pending event)
+	rng    *RNG
+}
+
+// New returns a simulator whose random source is seeded with seed.
+func New(seed uint64) *Sim {
+	return &Sim{
+		yield: make(chan struct{}),
+		rng:   NewRNG(seed),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// RNG returns the simulator's deterministic random source.
+func (s *Sim) RNG() *RNG { return s.rng }
+
+// event is a scheduled callback. Events with equal times fire in insertion
+// order, which keeps runs reproducible.
+type event struct {
+	at   time.Duration
+	seq  uint64
+	fire func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would violate causality.
+func (s *Sim) At(t time.Duration, fn func()) *event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := &event{at: t, seq: s.seq, fire: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d time.Duration, fn func()) *event { return s.At(s.now+d, fn) }
+
+// cancel marks an event as a no-op. The heap entry stays until popped.
+func (e *event) cancel() { e.fire = nil }
+
+// Run drives the simulation until no events remain. It returns the final
+// virtual time. If processes are still blocked on resources when the event
+// queue drains, Run panics: that is a deadlock in the modelled system and
+// continuing would silently leak goroutines.
+func (s *Sim) Run() time.Duration {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.fire == nil {
+			continue // cancelled
+		}
+		s.now = e.at
+		e.fire()
+	}
+	if s.parked > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) parked with no pending events at %v", s.parked, s.now))
+	}
+	return s.now
+}
+
+// RunUntil drives the simulation until virtual time passes limit or no
+// events remain, whichever comes first. Processes may still be live when it
+// returns. It reports whether the event queue drained.
+func (s *Sim) RunUntil(limit time.Duration) bool {
+	for s.queue.Len() > 0 {
+		if s.queue[0].at > limit {
+			s.now = limit
+			return false
+		}
+		e := heap.Pop(&s.queue).(*event)
+		if e.fire == nil {
+			continue
+		}
+		s.now = e.at
+		e.fire()
+	}
+	return true
+}
+
+// Proc is a handle held by a simulated process. All blocking operations
+// (Sleep, Resource.Acquire, Queue.Recv, ...) take the Proc so the kernel can
+// park and resume the goroutine.
+type Proc struct {
+	sim  *Sim
+	name string
+	wake chan struct{}
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the owning simulator.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.sim.now }
+
+// Spawn creates a process that begins running body at the current virtual
+// time. body executes on its own goroutine but in strict alternation with
+// the scheduler, so no locking is required inside the simulation.
+func (s *Sim) Spawn(name string, body func(p *Proc)) {
+	s.SpawnAt(s.now, name, body)
+}
+
+// SpawnAt creates a process that begins running body at virtual time t.
+func (s *Sim) SpawnAt(t time.Duration, name string, body func(p *Proc)) {
+	p := &Proc{sim: s, name: name, wake: make(chan struct{})}
+	s.nproc++
+	s.At(t, func() {
+		go func() {
+			<-p.wake
+			body(p)
+			s.nproc--
+			s.yield <- struct{}{}
+		}()
+		s.resume(p)
+	})
+}
+
+// resume hands control to p and waits for it to yield back. Called only from
+// the scheduler goroutine (inside an event's fire).
+func (s *Sim) resume(p *Proc) {
+	p.wake <- struct{}{}
+	<-s.yield
+}
+
+// yieldWait parks the calling process until another event resumes it. The
+// caller must have arranged for a wakeup before calling.
+func (p *Proc) yieldWait() {
+	p.sim.yield <- struct{}{}
+	<-p.wake
+}
+
+// park blocks the process indefinitely; some other component must call
+// unpark to schedule its resumption. The parked counter lets Run distinguish
+// a drained simulation from a deadlocked one.
+func (p *Proc) park() {
+	p.sim.parked++
+	p.yieldWait()
+	p.sim.parked--
+}
+
+// unpark schedules p to resume at the current virtual time.
+func (s *Sim) unpark(p *Proc) {
+	s.At(s.now, func() { s.resume(p) })
+}
+
+// ParkIdle blocks the process until Unpark, without counting toward deadlock
+// detection. It is the building block for external blocking primitives
+// (mailbox receives, future waits) where indefinite idling is legitimate:
+// a server loop parked on an empty mailbox when the run drains is idle, not
+// deadlocked. Its goroutine is reclaimed when the process exits.
+func (p *Proc) ParkIdle() { p.yieldWait() }
+
+// Unpark schedules a process blocked in ParkIdle to resume at the current
+// virtual time.
+func (s *Sim) Unpark(p *Proc) { s.unpark(p) }
+
+// Sleep suspends the process for d of virtual time. Negative durations are
+// treated as zero (the process still yields, letting same-time events fire
+// in order).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.sim.At(p.sim.now+d, func() { p.sim.resume(p) })
+	p.yieldWait()
+}
+
+// Yield relinquishes control until all previously-scheduled events at the
+// current instant have fired. Equivalent to Sleep(0).
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// WaitGroup coordinates fork/join between simulated processes, mirroring
+// sync.WaitGroup but driven by virtual time.
+type WaitGroup struct {
+	sim     *Sim
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns a WaitGroup bound to s.
+func NewWaitGroup(s *Sim) *WaitGroup { return &WaitGroup{sim: s} }
+
+// Add increments the counter by n.
+func (wg *WaitGroup) Add(n int) { wg.count += n }
+
+// Done decrements the counter, waking all waiters when it reaches zero.
+func (wg *WaitGroup) Done() {
+	wg.count--
+	if wg.count < 0 {
+		panic("sim: WaitGroup counter negative")
+	}
+	if wg.count == 0 {
+		for _, w := range wg.waiters {
+			wg.sim.unpark(w)
+		}
+		wg.waiters = nil
+	}
+}
+
+// Wait blocks p until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.count == 0 {
+		return
+	}
+	wg.waiters = append(wg.waiters, p)
+	p.park()
+}
+
+// Go spawns body as a child process tracked by the WaitGroup.
+func (wg *WaitGroup) Go(name string, body func(p *Proc)) {
+	wg.Add(1)
+	wg.sim.Spawn(name, func(p *Proc) {
+		defer wg.Done()
+		body(p)
+	})
+}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary accumulates running statistics (count, mean, min, max, variance)
+// using Welford's algorithm, suitable for latency and size distributions.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	if s.n == 0 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	s.n++
+	delta := v - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (v - s.mean)
+}
+
+// ObserveDuration records a duration sample in seconds.
+func (s *Summary) ObserveDuration(d time.Duration) { s.Observe(d.Seconds()) }
+
+// Count returns the number of samples.
+func (s *Summary) Count() int64 { return s.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest sample (0 with no samples).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample (0 with no samples).
+func (s *Summary) Max() float64 { return s.max }
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// String formats the summary compactly.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g min=%.3g max=%.3g sd=%.3g", s.n, s.mean, s.min, s.max, s.StdDev())
+}
+
+// Histogram buckets samples into power-of-two bins, for cheap latency
+// distribution capture inside the simulator.
+type Histogram struct {
+	buckets [64]int64
+	sum     float64
+	count   int64
+}
+
+// bucketOf maps v (>= 0) to its power-of-two bucket index.
+func bucketOf(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	b := int(math.Log2(v)) + 1
+	if b >= 64 {
+		b = 63
+	}
+	return b
+}
+
+// Observe records one non-negative sample.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the total samples recorded.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the mean sample value.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns an upper-bound estimate of quantile q in [0,1], using the
+// bucket upper edges.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > target {
+			if i == 0 {
+				return 1
+			}
+			return math.Pow(2, float64(i))
+		}
+	}
+	return math.Pow(2, 63)
+}
+
+// Metrics is a named registry of summaries, shared by simulation components
+// so harnesses can print one coherent report.
+type Metrics struct {
+	summaries map[string]*Summary
+	counters  map[string]int64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{summaries: make(map[string]*Summary), counters: make(map[string]int64)}
+}
+
+// Summary returns (creating if needed) the named summary.
+func (m *Metrics) Summary(name string) *Summary {
+	s, ok := m.summaries[name]
+	if !ok {
+		s = &Summary{}
+		m.summaries[name] = s
+	}
+	return s
+}
+
+// Add increments a named counter by delta.
+func (m *Metrics) Add(name string, delta int64) { m.counters[name] += delta }
+
+// Counter returns the value of a named counter.
+func (m *Metrics) Counter(name string) int64 { return m.counters[name] }
+
+// Names returns all registered summary names, sorted.
+func (m *Metrics) Names() []string {
+	names := make([]string, 0, len(m.summaries))
+	for n := range m.summaries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CounterNames returns all counter names, sorted.
+func (m *Metrics) CounterNames() []string {
+	names := make([]string, 0, len(m.counters))
+	for n := range m.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample stddev of that classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev()-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.StdDev(), want)
+	}
+}
+
+func TestSummaryDuration(t *testing.T) {
+	var s Summary
+	s.ObserveDuration(500 * time.Millisecond)
+	s.ObserveDuration(1500 * time.Millisecond)
+	if math.Abs(s.Mean()-1.0) > 1e-9 {
+		t.Fatalf("mean = %v, want 1.0s", s.Mean())
+	}
+}
+
+func TestSummaryMeanWithinBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Summary
+		anyFinite := false
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e18 {
+				continue // metric values are latencies/bytes, never astronomic
+			}
+			s.Observe(v)
+			anyFinite = true
+		}
+		if !anyFinite {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Median of 0..99 lands in the 64..128 bucket upper bound region.
+	q := h.Quantile(0.5)
+	if q < 32 || q > 128 {
+		t.Fatalf("p50 = %v, want within [32,128]", q)
+	}
+	if h.Quantile(0.0) < 1 {
+		t.Fatalf("p0 = %v", h.Quantile(0.0))
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	h.Observe(20)
+	if math.Abs(h.Mean()-15) > 1e-12 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	m := NewMetrics()
+	m.Summary("lat").Observe(1)
+	m.Summary("lat").Observe(3)
+	m.Add("ops", 5)
+	m.Add("ops", 2)
+	if m.Summary("lat").Count() != 2 {
+		t.Fatalf("summary not shared")
+	}
+	if m.Counter("ops") != 7 {
+		t.Fatalf("counter = %d", m.Counter("ops"))
+	}
+	if n := m.Names(); len(n) != 1 || n[0] != "lat" {
+		t.Fatalf("names = %v", n)
+	}
+	if n := m.CounterNames(); len(n) != 1 || n[0] != "ops" {
+		t.Fatalf("counter names = %v", n)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(123), NewRNG(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		bound := int(n%100) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n % 64)
+		p := NewRNG(seed).Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGExpPositive(t *testing.T) {
+	r := NewRNG(9)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Exp(2.0)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if mean < 1.9 || mean > 2.1 {
+		t.Fatalf("Exp mean = %v, want ~2.0", mean)
+	}
+}
+
+func TestRNGForkIndependent(t *testing.T) {
+	r := NewRNG(11)
+	f1 := r.Fork()
+	v := r.Uint64()
+	f2 := NewRNG(11)
+	_ = f2.Fork()
+	if v != f2.Uint64() {
+		t.Fatal("Fork perturbed parent stream inconsistently")
+	}
+	if f1.Uint64() == r.Uint64() {
+		t.Fatal("forked stream mirrors parent")
+	}
+}

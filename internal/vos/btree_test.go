@@ -1,0 +1,186 @@
+package vos
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreePutGet(t *testing.T) {
+	tr := NewBTree()
+	if _, ok := tr.Get([]byte("missing")); ok {
+		t.Fatal("empty tree returned a value")
+	}
+	if !tr.Put([]byte("a"), 1) {
+		t.Fatal("fresh insert reported as replace")
+	}
+	if tr.Put([]byte("a"), 2) {
+		t.Fatal("replace reported as insert")
+	}
+	v, ok := tr.Get([]byte("a"))
+	if !ok || v.(int) != 2 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestBTreeManyKeysSorted(t *testing.T) {
+	tr := NewBTree()
+	const n = 1000
+	// Insert in a scrambled deterministic order.
+	for i := 0; i < n; i++ {
+		j := (i * 7919) % n
+		tr.Put([]byte(fmt.Sprintf("key%06d", j)), j)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	var prev []byte
+	count := 0
+	tr.Ascend(func(k []byte, v interface{}) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("out of order: %q then %q", prev, k)
+		}
+		want := fmt.Sprintf("key%06d", v.(int))
+		if string(k) != want {
+			t.Fatalf("key %q does not match value %v", k, v)
+		}
+		prev = append(prev[:0], k...)
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("iterated %d, want %d", count, n)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	tr := NewBTree()
+	for i := 0; i < 100; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%03d", i)), i)
+	}
+	for i := 0; i < 100; i += 2 {
+		if !tr.Delete([]byte(fmt.Sprintf("k%03d", i))) {
+			t.Fatalf("delete k%03d failed", i)
+		}
+	}
+	if tr.Delete([]byte("k000")) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		_, ok := tr.Get([]byte(fmt.Sprintf("k%03d", i)))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(k%03d) = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestBTreeAscendRange(t *testing.T) {
+	tr := NewBTree()
+	for i := 0; i < 10; i++ {
+		tr.Put([]byte{byte('a' + i)}, i)
+	}
+	var got []string
+	tr.AscendRange([]byte("c"), []byte("f"), func(k []byte, v interface{}) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"c", "d", "e"}
+	if len(got) != len(want) {
+		t.Fatalf("range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBTreeEarlyStop(t *testing.T) {
+	tr := NewBTree()
+	for i := 0; i < 100; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%03d", i)), i)
+	}
+	count := 0
+	tr.Ascend(func(k []byte, v interface{}) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop iterated %d, want 5", count)
+	}
+}
+
+func TestBTreeKeyCopied(t *testing.T) {
+	tr := NewBTree()
+	k := []byte("mutable")
+	tr.Put(k, 1)
+	k[0] = 'X'
+	if _, ok := tr.Get([]byte("mutable")); !ok {
+		t.Fatal("tree aliased caller's key buffer")
+	}
+}
+
+// TestBTreeMatchesReferenceMap is the core property test: a B+tree behaves
+// exactly like a sorted map under arbitrary operation sequences.
+func TestBTreeMatchesReferenceMap(t *testing.T) {
+	type op struct {
+		Key    uint16
+		Value  uint8
+		Delete bool
+	}
+	f := func(ops []op) bool {
+		tr := NewBTree()
+		ref := map[string]interface{}{}
+		for _, o := range ops {
+			k := fmt.Sprintf("%05d", o.Key%500)
+			if o.Delete {
+				delRef := false
+				if _, ok := ref[k]; ok {
+					delete(ref, k)
+					delRef = true
+				}
+				if tr.Delete([]byte(k)) != delRef {
+					return false
+				}
+			} else {
+				_, existed := ref[k]
+				ref[k] = int(o.Value)
+				if tr.Put([]byte(k), int(o.Value)) == existed {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		// Iteration must visit exactly the reference keys, sorted.
+		var refKeys []string
+		for k := range ref {
+			refKeys = append(refKeys, k)
+		}
+		sort.Strings(refKeys)
+		i := 0
+		good := true
+		tr.Ascend(func(k []byte, v interface{}) bool {
+			if i >= len(refKeys) || string(k) != refKeys[i] || v.(int) != ref[refKeys[i]].(int) {
+				good = false
+				return false
+			}
+			i++
+			return true
+		})
+		return good && i == len(refKeys)
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package vos
+
+import "sort"
+
+// Epoch is a logical timestamp. Updates are tagged with the epoch at which
+// they were made; fetches read the state visible at a given epoch.
+type Epoch uint64
+
+// EpochMax reads the latest state.
+const EpochMax = Epoch(^uint64(0))
+
+// Extent is one versioned write to a byte-array akey: Data covers
+// [Offset, Offset+len(Data)) as of Epoch.
+type Extent struct {
+	Offset int64
+	Epoch  Epoch
+	Data   []byte
+}
+
+// End returns the first byte offset past the extent.
+func (e Extent) End() int64 { return e.Offset + int64(len(e.Data)) }
+
+// ExtentTree stores the versioned extents of one array akey, ordered by
+// (offset, epoch). It is the simulator's analogue of VOS's evtree. Reads
+// resolve overlapping extents by visibility: the highest epoch not past the
+// read epoch wins for every byte.
+type ExtentTree struct {
+	// extents are sorted by Offset, then Epoch. Multiple extents may
+	// overlap; MVCC keeps old versions until Aggregate.
+	extents []Extent
+	// maxEnd caches the high-water mark of written bytes (the array size).
+	maxEnd int64
+}
+
+// NewExtentTree returns an empty tree.
+func NewExtentTree() *ExtentTree { return &ExtentTree{} }
+
+// Len returns the number of stored extents.
+func (t *ExtentTree) Len() int { return len(t.extents) }
+
+// Size returns the high-water mark: one past the last written byte.
+func (t *ExtentTree) Size() int64 { return t.maxEnd }
+
+// Insert records a write of data at offset with the given epoch. Data is
+// copied so the caller can reuse its buffer.
+func (t *ExtentTree) Insert(offset int64, epoch Epoch, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	e := Extent{Offset: offset, Epoch: epoch, Data: append([]byte(nil), data...)}
+	i := sort.Search(len(t.extents), func(i int) bool {
+		x := t.extents[i]
+		return x.Offset > e.Offset || (x.Offset == e.Offset && x.Epoch > e.Epoch)
+	})
+	t.extents = append(t.extents, Extent{})
+	copy(t.extents[i+1:], t.extents[i:])
+	t.extents[i] = e
+	if e.End() > t.maxEnd {
+		t.maxEnd = e.End()
+	}
+}
+
+// Read resolves the bytes of [offset, offset+length) visible at epoch.
+// Unwritten bytes read as zero (holes). The second result reports how many
+// bytes at the start of the range were actually covered by writes visible at
+// the epoch (0 when the whole range is a hole).
+func (t *ExtentTree) Read(offset int64, length int, epoch Epoch) ([]byte, int64) {
+	buf := make([]byte, length)
+	var covered int64
+	end := offset + int64(length)
+	// Extents are in (offset, epoch) ascending order, so overlaying in
+	// iteration order applies lower epochs first and higher epochs on top
+	// for equal offsets; for differing offsets overlap resolution must be
+	// epoch-ordered, so sort the overlapping set by epoch before overlay.
+	var overlapping []Extent
+	for _, e := range t.extents {
+		if e.Epoch > epoch {
+			continue
+		}
+		if e.End() <= offset || e.Offset >= end {
+			continue
+		}
+		overlapping = append(overlapping, e)
+	}
+	sort.SliceStable(overlapping, func(i, j int) bool { return overlapping[i].Epoch < overlapping[j].Epoch })
+	covering := make([]bool, length)
+	for _, e := range overlapping {
+		lo := e.Offset
+		if lo < offset {
+			lo = offset
+		}
+		hi := e.End()
+		if hi > end {
+			hi = end
+		}
+		copy(buf[lo-offset:hi-offset], e.Data[lo-e.Offset:hi-e.Offset])
+		for i := lo - offset; i < hi-offset; i++ {
+			covering[i] = true
+		}
+	}
+	for _, c := range covering {
+		if !c {
+			break
+		}
+		covered++
+	}
+	return buf, covered
+}
+
+// VisibleSize returns one past the last byte visible at epoch.
+func (t *ExtentTree) VisibleSize(epoch Epoch) int64 {
+	var size int64
+	for _, e := range t.extents {
+		if e.Epoch <= epoch && e.End() > size {
+			size = e.End()
+		}
+	}
+	return size
+}
+
+// Aggregate merges history at or below epoch into a flat, non-overlapping
+// set of extents stamped with the aggregation epoch, discarding shadowed
+// versions. Extents newer than epoch are preserved untouched. It returns the
+// number of bytes of old version data reclaimed.
+func (t *ExtentTree) Aggregate(epoch Epoch) int64 {
+	var old, newer []Extent
+	var oldBytes int64
+	for _, e := range t.extents {
+		if e.Epoch <= epoch {
+			old = append(old, e)
+			oldBytes += int64(len(e.Data))
+		} else {
+			newer = append(newer, e)
+		}
+	}
+	if len(old) == 0 {
+		return 0
+	}
+	// Flatten the visible image of the old extents into runs.
+	lo, hi := old[0].Offset, old[0].End()
+	for _, e := range old[1:] {
+		if e.Offset < lo {
+			lo = e.Offset
+		}
+		if e.End() > hi {
+			hi = e.End()
+		}
+	}
+	img, _ := t.readFrom(old, lo, int(hi-lo), epoch)
+	written := make([]bool, hi-lo)
+	for _, e := range old {
+		for i := e.Offset; i < e.End(); i++ {
+			written[i-lo] = true
+		}
+	}
+	var flat []Extent
+	var keptBytes int64
+	i := 0
+	for i < len(written) {
+		if !written[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(written) && written[j] {
+			j++
+		}
+		flat = append(flat, Extent{
+			Offset: lo + int64(i),
+			Epoch:  epoch,
+			Data:   append([]byte(nil), img[i:j]...),
+		})
+		keptBytes += int64(j - i)
+		i = j
+	}
+	merged := append(flat, newer...)
+	sort.SliceStable(merged, func(a, b int) bool {
+		if merged[a].Offset != merged[b].Offset {
+			return merged[a].Offset < merged[b].Offset
+		}
+		return merged[a].Epoch < merged[b].Epoch
+	})
+	t.extents = merged
+	return oldBytes - keptBytes
+}
+
+// readFrom is Read over an explicit extent set (used by Aggregate).
+func (t *ExtentTree) readFrom(extents []Extent, offset int64, length int, epoch Epoch) ([]byte, int64) {
+	saved := t.extents
+	t.extents = extents
+	buf, covered := t.Read(offset, length, epoch)
+	t.extents = saved
+	return buf, covered
+}
+
+// Extents returns a copy of the extent list (for inspection and tests).
+func (t *ExtentTree) Extents() []Extent {
+	return append([]Extent(nil), t.extents...)
+}
