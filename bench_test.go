@@ -5,13 +5,18 @@
 //
 //	go test -bench=. -benchmem
 //
-// reproduces the whole evaluation. Use cmd/figures for the full-scale
+// reproduces the whole evaluation. Studies fan independent sweep points out
+// across cores via the core Runner; BenchmarkFigure1Speedup reports the
+// wall-clock speedup of the parallel pool over the sequential path (their
+// measured figures are byte-identical). Use cmd/figures for the full-scale
 // node sweep and the claim checks.
 package daosim_test
 
 import (
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"daosim/internal/bench"
 	"daosim/internal/core"
@@ -42,7 +47,7 @@ func metricLabel(label string) string {
 
 func BenchmarkFigure1Read(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		st, err := bench.Figure1(bench.Quick)
+		st, err := bench.Figure1(bench.At(bench.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -54,21 +59,46 @@ func BenchmarkFigure1Read(b *testing.B) {
 
 func BenchmarkFigure1Write(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		st, err := bench.Figure1(bench.Quick)
+		st, err := bench.Figure1(bench.At(bench.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == b.N-1 {
-			last := st.Config.Nodes[len(st.Config.Nodes)-1]
-			_ = last
 			reportStudy(b, st)
+		}
+	}
+}
+
+// BenchmarkFigure1Speedup runs the Quick Figure 1 sweep sequentially and
+// then on the full worker pool, verifies the two studies are byte-identical,
+// and reports the wall-clock speedup the pool buys.
+func BenchmarkFigure1Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		seq, err := bench.Figure1(bench.Options{Scale: bench.Quick, Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		seqWall := time.Since(t0)
+		t0 = time.Now()
+		par, err := bench.Figure1(bench.At(bench.Quick))
+		if err != nil {
+			b.Fatal(err)
+		}
+		parWall := time.Since(t0)
+		if seq.CSV() != par.CSV() {
+			b.Fatal("parallel sweep diverged from sequential same-seed sweep")
+		}
+		if i == b.N-1 {
+			b.ReportMetric(seqWall.Seconds()/parWall.Seconds(), "speedup")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 		}
 	}
 }
 
 func BenchmarkFigure2Read(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		st, err := bench.Figure2(bench.Quick)
+		st, err := bench.Figure2(bench.At(bench.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -80,7 +110,7 @@ func BenchmarkFigure2Read(b *testing.B) {
 
 func BenchmarkFigure2Write(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		st, err := bench.Figure2(bench.Quick)
+		st, err := bench.Figure2(bench.At(bench.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +122,7 @@ func BenchmarkFigure2Write(b *testing.B) {
 
 func BenchmarkAblationObjectClass(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		st, err := bench.AblationObjectClass(bench.Quick)
+		st, err := bench.AblationObjectClass(bench.At(bench.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,7 +134,7 @@ func BenchmarkAblationObjectClass(b *testing.B) {
 
 func BenchmarkAblationTransferSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := bench.AblationTransferSize(bench.Quick)
+		pts, err := bench.AblationTransferSize(bench.At(bench.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -118,7 +148,7 @@ func BenchmarkAblationTransferSize(b *testing.B) {
 
 func BenchmarkAblationFuseOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		st, err := bench.AblationFuseOverhead(bench.Quick)
+		st, err := bench.AblationFuseOverhead(bench.At(bench.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,7 +160,7 @@ func BenchmarkAblationFuseOverhead(b *testing.B) {
 
 func BenchmarkAblationCollective(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		st, err := bench.AblationCollective(bench.Quick)
+		st, err := bench.AblationCollective(bench.At(bench.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,7 +172,7 @@ func BenchmarkAblationCollective(b *testing.B) {
 
 func BenchmarkFutureNativeArray(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := bench.FutureNativeArray(bench.Quick)
+		pts, err := bench.FutureNativeArray(bench.At(bench.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -2,10 +2,13 @@
 // section (Fig. 1 file-per-process and Fig. 2 shared-file, read and write
 // panels), runs the machine-checked versions of the paper's qualitative
 // claims, and optionally runs the ablation experiments from DESIGN.md.
+// Independent sweep points fan out across cores; -parallel bounds the pool
+// without changing any measured number.
 //
 //	figures                 # both figures, full node sweep, claim checks
 //	figures -quick          # reduced sweep (CI-sized)
 //	figures -fig 1          # only Figure 1
+//	figures -parallel 4     # at most 4 concurrent sweep points
 //	figures -ablations      # also run A1..A4
 //	figures -csv out.csv    # dump the raw series
 package main
@@ -26,11 +29,15 @@ func main() {
 		fig       = flag.Int("fig", 0, "run only this figure (1 or 2); 0 = both")
 		ablations = flag.Bool("ablations", false, "also run ablation experiments A1..A4")
 		csvPath   = flag.String("csv", "", "write raw series CSV to this file")
+		parallel  = flag.Int("parallel", 0, "max concurrent sweep points (0 = all cores, 1 = sequential)")
+		seed      = flag.Uint64("seed", 0, "study seed (0 = testbed default)")
 	)
 	flag.Parse()
-	scale := bench.Full
+	opts := bench.Options{Parallelism: *parallel, Seed: *seed}
 	if *quick {
-		scale = bench.Quick
+		opts.Scale = bench.Quick
+	} else {
+		opts.Scale = bench.Full
 	}
 
 	var csv string
@@ -38,21 +45,23 @@ func main() {
 	var err error
 
 	if *fig == 0 || *fig == 1 {
-		easy, err = bench.Figure1(scale)
+		easy, err = bench.Figure1(opts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(bench.Render("Figure 1: IOR file-per-process (easy)", easy))
+		fmt.Printf("(swept in %v wall-clock)\n\n", easy.Elapsed)
 		fmt.Println("Paper claims, checked:")
 		fmt.Println(bench.RenderClaims(easy.CheckEasyClaims()))
 		csv += easy.CSV()
 	}
 	if *fig == 0 || *fig == 2 {
-		hard, err = bench.Figure2(scale)
+		hard, err = bench.Figure2(opts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(bench.Render("Figure 2: IOR shared-file (hard)", hard))
+		fmt.Printf("(swept in %v wall-clock)\n\n", hard.Elapsed)
 		fmt.Println("Paper claims, checked:")
 		fmt.Println(bench.RenderClaims(hard.CheckHardClaims()))
 		csv += hard.CSV()
@@ -63,7 +72,7 @@ func main() {
 	}
 
 	if *ablations {
-		runAblations(scale)
+		runAblations(opts)
 	}
 
 	if *csvPath != "" {
@@ -74,9 +83,9 @@ func main() {
 	}
 }
 
-func runAblations(scale bench.Scale) {
+func runAblations(opts bench.Options) {
 	fmt.Println("=== Ablation A1: object class sweep at peak contention ===")
-	a1, err := bench.AblationObjectClass(scale)
+	a1, err := bench.AblationObjectClass(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,7 +93,7 @@ func runAblations(scale bench.Scale) {
 	fmt.Println(a1.Table(false))
 
 	fmt.Println("=== Ablation A2: transfer size sweep (daos S2) ===")
-	a2, err := bench.AblationTransferSize(scale)
+	a2, err := bench.AblationTransferSize(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,7 +104,7 @@ func runAblations(scale bench.Scale) {
 	fmt.Println()
 
 	fmt.Println("=== Ablation A3: DFuse overhead decomposition ===")
-	a3, err := bench.AblationFuseOverhead(scale)
+	a3, err := bench.AblationFuseOverhead(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,7 +112,7 @@ func runAblations(scale bench.Scale) {
 	fmt.Println(a3.Table(false))
 
 	fmt.Println("=== Ablation A4: collective vs independent MPI-I/O (shared file) ===")
-	a4, err := bench.AblationCollective(scale)
+	a4, err := bench.AblationCollective(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,7 +120,7 @@ func runAblations(scale bench.Scale) {
 	fmt.Println(a4.Table(false))
 
 	fmt.Println("=== Future work (paper SV): native DAOS array API vs DFS ===")
-	fw, err := bench.FutureNativeArray(scale)
+	fw, err := bench.FutureNativeArray(opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,9 +1,16 @@
 // Command iorsim runs a single IOR configuration on the simulated
-// NEXTGenIO-class cluster and prints an IOR-style summary.
+// NEXTGenIO-class cluster and prints an IOR-style summary. With a
+// comma-separated -nodes list it instead sweeps the node axis through the
+// parallel study runner and prints the study tables; -parallel bounds the
+// worker pool (results are identical at any setting).
 //
 // Example (the paper's easy mode, DFS backend, S2 objects, 8 client nodes):
 //
 //	iorsim -api DFS -fpp -class S2 -nodes 8 -ppn 8 -b 16m -t 2m -C
+//
+// Sweep example (4 points, fanned out across cores):
+//
+//	iorsim -api DFS -fpp -class S2 -nodes 1,2,4,8 -parallel 4
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"strings"
 
 	"daosim/internal/cluster"
+	"daosim/internal/core"
 	"daosim/internal/ior"
 	"daosim/internal/placement"
 	"daosim/internal/sim"
@@ -25,7 +33,7 @@ func main() {
 		api        = flag.String("api", "DFS", "backend: POSIX, DFS, MPIIO, or HDF5")
 		fpp        = flag.Bool("fpp", false, "file per process (IOR easy); default shared file (hard)")
 		class      = flag.String("class", "SX", "object class: S1, S2, S4, S8, SX")
-		nodes      = flag.Int("nodes", 4, "client nodes")
+		nodes      = flag.String("nodes", "4", "client nodes; a comma-separated list sweeps the node axis")
 		ppn        = flag.Int("ppn", 8, "ranks per node")
 		block      = flag.String("b", "16m", "block size per rank (e.g. 64m, 1g)")
 		transfer   = flag.String("t", "2m", "transfer size (e.g. 1m, 4m)")
@@ -37,6 +45,8 @@ func main() {
 		random     = flag.Bool("z", false, "random (shuffled) transfer order")
 		writeOnly  = flag.Bool("w", false, "write phase only")
 		readOnly   = flag.Bool("r", false, "read phase only (requires -w run data; use -w=false -r=false for both)")
+		parallel   = flag.Int("parallel", 0, "max concurrent sweep points (0 = all cores, 1 = sequential)")
+		seed       = flag.Uint64("seed", 0, "study seed (0 = default); every point, single or swept, runs on a seed derived from it so single runs match sweep rows")
 	)
 	flag.Parse()
 
@@ -44,6 +54,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	nodeSweep := parseNodes(*nodes)
+	if len(nodeSweep) > 1 {
+		if *verify || *random || *writeOnly || *readOnly || !*reorder {
+			log.Fatal("iorsim: -R, -z, -w, -r, and -C=false apply to single-point runs; a -nodes sweep measures both phases with task reorder on")
+		}
+		runSweep(nodeSweep, *ppn, ior.API(strings.ToUpper(*api)), cls, *fpp,
+			parseSize(*block), parseSize(*transfer), *segments, *iters, *collective, *parallel, *seed)
+		return
+	}
+
 	cfg := ior.Config{
 		API:           ior.API(strings.ToUpper(*api)),
 		FilePerProc:   *fpp,
@@ -63,11 +84,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	tb := cluster.New(cluster.NEXTGenIO())
+	// Seed the testbed exactly as the runner seeds this point in a sweep,
+	// so `-nodes 8` and the 8-node row of `-nodes 8,16` report the same
+	// numbers.
+	tbCfg := cluster.NEXTGenIO()
+	base := *seed
+	if base == 0 {
+		base = tbCfg.Seed
+	}
+	tbCfg.Seed = core.PointSeed(base, 0, nodeSweep[0])
+	tb := cluster.New(tbCfg)
 	defer tb.Shutdown()
 	var res *ior.Result
 	elapsed := tb.Run(func(p *sim.Proc) {
-		env, err := ior.NewEnv(p, tb, *nodes, *ppn)
+		env, err := ior.NewEnv(p, tb, nodeSweep[0], *ppn)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -79,6 +109,56 @@ func main() {
 	fmt.Print(res)
 	fmt.Printf("  verify errors: %d\n", res.VerifyErrors)
 	fmt.Printf("  virtual time:  %v\n", elapsed)
+}
+
+// runSweep fans a node sweep out through the core study runner.
+func runSweep(nodes []int, ppn int, api ior.API, cls placement.Class, fpp bool,
+	block, transfer int64, segments, iters int, collective bool, parallel int, seed uint64) {
+	workload := "hard"
+	if fpp {
+		workload = "easy"
+	}
+	label := strings.ToLower(string(api)) + " " + cls.Name
+	st, err := (&core.Runner{Parallelism: parallel}).Run(core.Config{
+		Workload:     workload,
+		Nodes:        nodes,
+		PPN:          ppn,
+		BlockSize:    block,
+		TransferSize: transfer,
+		Segments:     segments,
+		Iterations:   iters,
+		Variants:     []core.Variant{{Label: label, API: api, Class: cls.ID, Collective: collective}},
+		Seed:         seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(st.Table(true))
+	fmt.Print(st.Table(false))
+	fmt.Printf("swept %d points in %v wall-clock\n", len(nodes), st.Elapsed)
+}
+
+// parseNodes parses the -nodes flag: a single count or a comma-separated
+// sweep list.
+func parseNodes(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad node count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "empty -nodes list")
+		os.Exit(2)
+	}
+	return out
 }
 
 // parseSize parses IOR-style sizes: 4k, 2m, 1g, or plain bytes.

@@ -1,0 +1,3 @@
+module daosim
+
+go 1.24

@@ -2,7 +2,9 @@
 // plus the ablations DESIGN.md calls out, on top of the core study API.
 // Each experiment has a canned configuration (scaled to simulator-friendly
 // sizes while preserving the paper's geometry ratios) and renderers for
-// text tables and CSV.
+// text tables and CSV. All experiments execute through the core Runner, so
+// independent sweep points fan out across cores; Options.Parallelism tunes
+// the pool and results are identical at any setting.
 package bench
 
 import (
@@ -33,21 +35,43 @@ func nodesFor(s Scale) []int {
 	return []int{1, 4}
 }
 
+// Options tunes how the canned experiments execute.
+type Options struct {
+	// Scale picks the node sweep (Quick or Full).
+	Scale Scale
+	// Parallelism bounds how many sweep points simulate concurrently;
+	// zero means runtime.GOMAXPROCS(0), one forces a sequential sweep.
+	// The measured figures are identical at any setting.
+	Parallelism int
+	// Seed overrides the study seed (zero keeps the testbed default).
+	Seed uint64
+}
+
+// At is shorthand for Options{Scale: s}.
+func At(s Scale) Options { return Options{Scale: s} }
+
+// runner returns the worker pool the experiment fans out on.
+func (o Options) runner() *core.Runner {
+	return &core.Runner{Parallelism: o.Parallelism}
+}
+
 // Figure1 runs the easy (file-per-process) study behind the paper's Fig. 1.
-func Figure1(scale Scale) (*core.Study, error) {
-	return core.Run(core.Config{
+func Figure1(o Options) (*core.Study, error) {
+	return o.runner().Run(core.Config{
 		Workload: "easy",
-		Nodes:    nodesFor(scale),
+		Nodes:    nodesFor(o.Scale),
 		Variants: core.EasyVariants(),
+		Seed:     o.Seed,
 	})
 }
 
 // Figure2 runs the hard (shared-file) study behind the paper's Fig. 2.
-func Figure2(scale Scale) (*core.Study, error) {
-	return core.Run(core.Config{
+func Figure2(o Options) (*core.Study, error) {
+	return o.runner().Run(core.Config{
 		Workload: "hard",
-		Nodes:    nodesFor(scale),
+		Nodes:    nodesFor(o.Scale),
 		Variants: core.HardVariants(),
+		Seed:     o.Seed,
 	})
 }
 
@@ -82,10 +106,10 @@ func RenderClaims(claims []core.Claim) string {
 
 // AblationObjectClass sweeps every sharding class at a fixed node count
 // (ablation A1: the shard fan-out trade-off behind the S2/SX crossover).
-func AblationObjectClass(scale Scale) (*core.Study, error) {
-	nodes := nodesFor(scale)
+func AblationObjectClass(o Options) (*core.Study, error) {
+	nodes := nodesFor(o.Scale)
 	peak := nodes[len(nodes)-1]
-	return core.Run(core.Config{
+	return o.runner().Run(core.Config{
 		Workload: "easy",
 		Nodes:    []int{peak},
 		Variants: []core.Variant{
@@ -95,31 +119,39 @@ func AblationObjectClass(scale Scale) (*core.Study, error) {
 			{Label: "S8", API: ior.APIDFS, Class: placement.S8},
 			{Label: "SX", API: ior.APIDFS, Class: placement.SX},
 		},
+		Seed: o.Seed,
 	})
 }
 
 // AblationTransferSize sweeps the IOR transfer size at a fixed shape
-// (ablation A2).
-func AblationTransferSize(scale Scale) ([]TransferPoint, error) {
+// (ablation A2). Each size is an independent single-point study; the whole
+// batch shares one worker pool.
+func AblationTransferSize(o Options) ([]TransferPoint, error) {
 	sizes := []int64{256 << 10, 1 << 20, 2 << 20, 4 << 20}
-	if scale == Quick {
+	if o.Scale == Quick {
 		sizes = []int64{512 << 10, 2 << 20}
 	}
-	var out []TransferPoint
-	for _, ts := range sizes {
-		st, err := core.Run(core.Config{
+	peak := nodesFor(o.Scale)[len(nodesFor(o.Scale))-1]
+	cfgs := make([]core.Config, len(sizes))
+	for i, ts := range sizes {
+		cfgs[i] = core.Config{
 			Workload:     "easy",
-			Nodes:        []int{nodesFor(scale)[len(nodesFor(scale))-1]},
+			Nodes:        []int{peak},
 			TransferSize: ts,
 			Variants: []core.Variant{
 				{Label: "daos S2", API: ior.APIDFS, Class: placement.S2},
 			},
-		})
-		if err != nil {
-			return nil, err
+			Seed: o.Seed,
 		}
+	}
+	studies, err := o.runner().RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TransferPoint, len(sizes))
+	for i, st := range studies {
 		pt := st.Series[0].Points[0]
-		out = append(out, TransferPoint{Transfer: ts, WriteGiBs: pt.WriteGiBs, ReadGiBs: pt.ReadGiBs})
+		out[i] = TransferPoint{Transfer: sizes[i], WriteGiBs: pt.WriteGiBs, ReadGiBs: pt.ReadGiBs}
 	}
 	return out, nil
 }
@@ -133,53 +165,65 @@ type TransferPoint struct {
 
 // AblationFuseOverhead compares DFS-direct with POSIX-over-DFuse at one
 // shape (ablation A3: the DFuse data-path decomposition).
-func AblationFuseOverhead(scale Scale) (*core.Study, error) {
-	return core.Run(core.Config{
+func AblationFuseOverhead(o Options) (*core.Study, error) {
+	return o.runner().Run(core.Config{
 		Workload: "easy",
-		Nodes:    nodesFor(scale),
+		Nodes:    nodesFor(o.Scale),
 		Variants: []core.Variant{
 			{Label: "dfs direct", API: ior.APIDFS, Class: placement.S2},
 			{Label: "posix dfuse", API: ior.APIPosix, Class: placement.S2},
 		},
+		Seed: o.Seed,
 	})
 }
 
 // AblationCollective compares independent and collective MPI-I/O on the
 // shared-file workload (the design choice ROMIO's two-phase path embodies).
-func AblationCollective(scale Scale) (*core.Study, error) {
-	return core.Run(core.Config{
+func AblationCollective(o Options) (*core.Study, error) {
+	return o.runner().Run(core.Config{
 		Workload: "hard",
-		Nodes:    nodesFor(scale),
+		Nodes:    nodesFor(o.Scale),
 		Variants: []core.Variant{
 			{Label: "independent", API: ior.APIMPIIO, Class: placement.SX},
 			{Label: "collective", API: ior.APIMPIIO, Class: placement.SX, Collective: true},
 		},
+		Seed: o.Seed,
 	})
 }
 
 // FutureNativeArray measures the paper's §V future work: driving IOR-like
 // traffic through the native DAOS array API (no DFS namespace at all),
 // compared with the DFS backend. It returns (native, dfs) bandwidth pairs
-// per node count.
-func FutureNativeArray(scale Scale) ([]NativePoint, error) {
-	var out []NativePoint
-	for _, nodes := range nodesFor(scale) {
-		native, err := runNativeArray(nodes, 8, 16<<20, 2<<20)
-		if err != nil {
-			return nil, err
-		}
-		st, err := core.Run(core.Config{
-			Workload: "easy",
-			Nodes:    []int{nodes},
-			Variants: []core.Variant{{Label: "dfs", API: ior.APIDFS, Class: placement.S2}},
-		})
-		if err != nil {
-			return nil, err
-		}
-		pt := st.Series[0].Points[0]
-		native.DFSWriteGiBs = pt.WriteGiBs
-		native.DFSReadGiBs = pt.ReadGiBs
-		out = append(out, native)
+// per node count. The native points run on the Options worker pool while the
+// DFS comparison sweep runs through the core Runner.
+func FutureNativeArray(o Options) ([]NativePoint, error) {
+	nodes := nodesFor(o.Scale)
+	out := make([]NativePoint, len(nodes))
+
+	// Native points are independent simulations: fan them out on the same
+	// runner pool the study points use. The DFS comparison sweep runs after
+	// this phase so the two never exceed the Parallelism bound combined.
+	err := o.runner().Map(len(nodes), func(i int) error {
+		var e error
+		out[i], e = runNativeArray(nodes[i], 8, 16<<20, 2<<20, o.Seed)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	st, err := o.runner().Run(core.Config{
+		Workload: "easy",
+		Nodes:    nodes,
+		Variants: []core.Variant{{Label: "dfs", API: ior.APIDFS, Class: placement.S2}},
+		Seed:     o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range st.Series[0].Points {
+		out[i].DFSWriteGiBs = pt.WriteGiBs
+		out[i].DFSReadGiBs = pt.ReadGiBs
 	}
 	return out, nil
 }
@@ -194,8 +238,12 @@ type NativePoint struct {
 }
 
 // runNativeArray writes/reads per-rank arrays through the raw object API.
-func runNativeArray(nodes, ppn int, block, transfer int64) (NativePoint, error) {
-	tb := cluster.New(cluster.NEXTGenIO())
+func runNativeArray(nodes, ppn int, block, transfer int64, seed uint64) (NativePoint, error) {
+	tbCfg := cluster.NEXTGenIO()
+	if seed != 0 {
+		tbCfg.Seed = seed
+	}
+	tb := cluster.New(tbCfg)
 	defer tb.Shutdown()
 	pt := NativePoint{Nodes: nodes}
 	var runErr error

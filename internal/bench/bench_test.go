@@ -10,7 +10,7 @@ import (
 // through cmd/figures.
 
 func TestFigure1Quick(t *testing.T) {
-	st, err := Figure1(Quick)
+	st, err := Figure1(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +24,7 @@ func TestFigure1Quick(t *testing.T) {
 }
 
 func TestFigure2Quick(t *testing.T) {
-	st, err := Figure2(Quick)
+	st, err := Figure2(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestFigure2Quick(t *testing.T) {
 }
 
 func TestAblationObjectClassQuick(t *testing.T) {
-	st, err := AblationObjectClass(Quick)
+	st, err := AblationObjectClass(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestAblationObjectClassQuick(t *testing.T) {
 }
 
 func TestAblationTransferSizeQuick(t *testing.T) {
-	pts, err := AblationTransferSize(Quick)
+	pts, err := AblationTransferSize(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestAblationTransferSizeQuick(t *testing.T) {
 }
 
 func TestAblationFuseOverheadQuick(t *testing.T) {
-	st, err := AblationFuseOverhead(Quick)
+	st, err := AblationFuseOverhead(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestAblationFuseOverheadQuick(t *testing.T) {
 }
 
 func TestAblationCollectiveQuick(t *testing.T) {
-	st, err := AblationCollective(Quick)
+	st, err := AblationCollective(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestAblationCollectiveQuick(t *testing.T) {
 }
 
 func TestFutureNativeArrayQuick(t *testing.T) {
-	pts, err := FutureNativeArray(Quick)
+	pts, err := FutureNativeArray(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}

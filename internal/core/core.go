@@ -4,11 +4,29 @@
 // (S1, S2, ... SX), on a simulated NEXTGenIO-class testbed, and reports the
 // read/write bandwidth series behind the paper's Figures 1 and 2 together
 // with machine-checkable versions of its qualitative claims.
+//
+// # Architecture: the Runner and seed derivation
+//
+// A sweep is a grid of independent (variant, node-count) points, each
+// simulated on a fresh testbed. The Runner fans those points out across a
+// bounded worker pool (Config.Parallelism workers, default GOMAXPROCS), and
+// Runner.RunAll additionally pools the points of several studies so that
+// batches of small studies still fill every core. Results land in
+// pre-allocated Study slots, point failures are recorded per point
+// (Point.Err) rather than aborting the sweep, and per-point host wall-clock
+// goes to Point.Elapsed.
+//
+// Determinism survives parallelism because nothing is shared between points:
+// each point's testbed seed is derived from (Config.Seed, variant index,
+// node count) with splitmix64 — never from execution order — so a parallel
+// sweep produces byte-identical Table/CSV output to a sequential run of the
+// same seed.
 package core
 
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"daosim/internal/cluster"
 	"daosim/internal/ior"
@@ -43,6 +61,12 @@ type Config struct {
 	Variants []Variant
 	// Testbed configures the simulated cluster (defaults to NEXTGenIO).
 	Testbed cluster.Config
+	// Seed is the study seed from which every point's testbed seed is
+	// derived (defaults to the testbed seed).
+	Seed uint64
+	// Parallelism bounds how many points run concurrently (defaults to
+	// runtime.GOMAXPROCS(0)). Results are identical at any setting.
+	Parallelism int
 }
 
 // Point is one measured sweep point.
@@ -51,6 +75,12 @@ type Point struct {
 	Ranks     int
 	WriteGiBs float64
 	ReadGiBs  float64
+	// Elapsed is the host wall-clock time spent simulating this point. It
+	// is execution-dependent and deliberately excluded from Table and CSV.
+	Elapsed time.Duration
+	// Err records the point's failure, if any; the rest of the sweep still
+	// runs.
+	Err string
 }
 
 // Series is one variant's sweep.
@@ -63,6 +93,9 @@ type Series struct {
 type Study struct {
 	Config Config
 	Series []Series
+	// Elapsed is the host wall-clock time of the runner batch that
+	// produced this study.
+	Elapsed time.Duration
 }
 
 // Defaults fills zero fields with the paper-scaled geometry.
@@ -91,6 +124,9 @@ func (c *Config) Defaults() {
 	if c.Testbed.ServerNodes == 0 {
 		c.Testbed = cluster.NEXTGenIO()
 	}
+	if c.Seed == 0 {
+		c.Seed = c.Testbed.Seed
+	}
 }
 
 // EasyVariants returns the paper's Figure 1 series: the DFS API at S1, S2,
@@ -116,28 +152,18 @@ func HardVariants() []Variant {
 	}
 }
 
-// Run executes the sweep. Each (variant, node-count) point runs on a fresh
-// testbed so points are fully independent (and memory from prior points is
-// reclaimed).
+// Run executes the sweep on a worker pool sized by cfg.Parallelism. Each
+// (variant, node-count) point runs on a fresh testbed so points are fully
+// independent (and memory from prior points is reclaimed). The returned
+// Study always covers the whole grid; the error joins any point failures.
 func Run(cfg Config) (*Study, error) {
-	cfg.Defaults()
-	study := &Study{Config: cfg}
-	for _, v := range cfg.Variants {
-		series := Series{Variant: v}
-		for _, nodes := range cfg.Nodes {
-			pt, err := runPoint(cfg, v, nodes)
-			if err != nil {
-				return nil, fmt.Errorf("core: %s @%d nodes: %w", v.Label, nodes, err)
-			}
-			series.Points = append(series.Points, pt)
-		}
-		study.Series = append(study.Series, series)
-	}
-	return study, nil
+	return (&Runner{}).Run(cfg)
 }
 
-// runPoint measures one (variant, nodes) cell.
-func runPoint(cfg Config, v Variant, nodes int) (Point, error) {
+// runPoint measures one (variant, nodes) cell on a testbed seeded with the
+// point's derived seed.
+func runPoint(cfg Config, v Variant, nodes int, seed uint64) (Point, error) {
+	cfg.Testbed.Seed = seed
 	tb := cluster.New(cfg.Testbed)
 	// Shut the testbed down when the point is done: server event loops exit
 	// and the garbage collector can reclaim the point's data; otherwise a

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runner executes study sweeps on a bounded worker pool. Every
+// (variant, node-count) point of a study is an independent simulation on its
+// own testbed, so points fan out across OS threads; per-point seeds are
+// derived deterministically from the study seed (see pointSeed), which makes
+// parallel and sequential runs byte-identical.
+type Runner struct {
+	// Parallelism bounds the number of points simulated concurrently
+	// across the whole batch, and when set explicitly it overrides any
+	// per-Config bound. When zero or negative, the strictest positive
+	// Config.Parallelism in the batch applies, and failing that
+	// runtime.GOMAXPROCS(0).
+	Parallelism int
+}
+
+// Run executes one study sweep.
+func (r *Runner) Run(cfg Config) (*Study, error) {
+	studies, err := r.RunAll([]Config{cfg})
+	return studies[0], err
+}
+
+// RunAll executes several independent study sweeps on one shared worker
+// pool, so small studies (single-point ablations, per-size sweeps) still fill
+// every core. Studies come back in input order, fully populated: a failed
+// point records its error in Point.Err instead of aborting the batch, and
+// the returned error joins every point failure (nil if all points succeeded).
+func (r *Runner) RunAll(cfgs []Config) ([]*Study, error) {
+	studies := make([]*Study, len(cfgs))
+	type job struct {
+		study, series, point int
+		cfg                  Config
+		variant              Variant
+		nodes                int
+		seed                 uint64
+	}
+	var jobs []job
+	for i := range cfgs {
+		cfg := cfgs[i]
+		cfg.Defaults()
+		st := &Study{Config: cfg, Series: make([]Series, len(cfg.Variants))}
+		for vi, v := range cfg.Variants {
+			st.Series[vi] = Series{Variant: v, Points: make([]Point, len(cfg.Nodes))}
+			for ni, n := range cfg.Nodes {
+				jobs = append(jobs, job{
+					study: i, series: vi, point: ni,
+					cfg: cfg, variant: v, nodes: n,
+					seed: PointSeed(cfg.Seed, vi, n),
+				})
+			}
+		}
+		studies[i] = st
+	}
+
+	workers := r.Parallelism
+	if workers <= 0 {
+		// Honor the strictest explicit per-Config bound: a config that
+		// asked for a narrow pool (memory, sequential timing) must not be
+		// widened by being batched with others.
+		for i := range cfgs {
+			if p := cfgs[i].Parallelism; p > 0 && (workers <= 0 || p < workers) {
+				workers = p
+			}
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	start := time.Now()
+	mapN(workers, len(jobs), func(i int) {
+		j := jobs[i]
+		t0 := time.Now()
+		pt, err := runPoint(j.cfg, j.variant, j.nodes, j.seed)
+		pt.Nodes = j.nodes
+		pt.Ranks = j.nodes * j.cfg.PPN
+		pt.Elapsed = time.Since(t0)
+		if err != nil {
+			pt.Err = err.Error()
+		}
+		// Each job owns a distinct Points slot, so no locking.
+		studies[j.study].Series[j.series].Points[j.point] = pt
+	})
+	elapsed := time.Since(start)
+
+	var errs []error
+	for _, st := range studies {
+		st.Elapsed = elapsed
+		for _, s := range st.Series {
+			for _, pt := range s.Points {
+				if pt.Err != "" {
+					errs = append(errs, fmt.Errorf("core: %s @%d nodes: %s", s.Variant.Label, pt.Nodes, pt.Err))
+				}
+			}
+		}
+	}
+	return studies, errors.Join(errs...)
+}
+
+// Map runs n independent jobs on the Runner's worker pool and joins their
+// errors. It is the generic fan-out for simulations that are not Config
+// grids (e.g. the bench native-array points), sharing the Runner's pool
+// width so mixed batches stay within one concurrency bound.
+func (r *Runner) Map(n int, fn func(i int) error) error {
+	workers := r.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	errs := make([]error, n)
+	mapN(workers, n, func(i int) { errs[i] = fn(i) })
+	return errors.Join(errs...)
+}
+
+// mapN runs fn(0..n-1) on a pool of at most workers goroutines and waits for
+// all of them.
+func mapN(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// PointSeed derives the testbed seed for one sweep point from the study seed,
+// the variant index, and the client-node count, via two rounds of splitmix64.
+// Points therefore get decorrelated, reproducible seeds that do not depend on
+// execution order — the property that makes parallel and sequential sweeps
+// byte-identical.
+func PointSeed(base uint64, variant, nodes int) uint64 {
+	x := splitmix64(base + 0xA24BAED4963EE407*uint64(variant+1))
+	x = splitmix64(x + 0x9FB21C651E98DF25*uint64(nodes+1))
+	if x == 0 {
+		x = 1 // the simulator RNG remaps zero; keep seeds in its injective range
+	}
+	return x
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele et al.), the standard
+// mixer for deriving independent seeds from a counter-like state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"daosim/internal/ior"
+	"daosim/internal/placement"
+)
+
+// TestParallelMatchesSequential is the determinism contract of the Runner:
+// a parallel sweep must render byte-identical tables and CSV to a
+// sequential sweep of the same seed.
+func TestParallelMatchesSequential(t *testing.T) {
+	variants := []Variant{
+		{Label: "daos S2", API: ior.APIDFS, Class: placement.S2},
+		{Label: "daos SX", API: ior.APIDFS, Class: placement.SX},
+	}
+	cfg := tinyConfig("easy", variants)
+
+	cfg.Parallelism = 1
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if seq.CSV() != par.CSV() {
+		t.Fatalf("CSV diverged:\n--- sequential ---\n%s--- parallel ---\n%s", seq.CSV(), par.CSV())
+	}
+	for _, write := range []bool{true, false} {
+		if seq.Table(write) != par.Table(write) {
+			t.Fatalf("table (write=%v) diverged:\n--- sequential ---\n%s--- parallel ---\n%s",
+				write, seq.Table(write), par.Table(write))
+		}
+	}
+}
+
+// TestPointErrorsCollected verifies that a failing point no longer aborts
+// the sweep: the rest of the grid completes, the failure lands in Point.Err,
+// and Run's joined error names the failing series.
+func TestPointErrorsCollected(t *testing.T) {
+	variants := []Variant{
+		{Label: "good", API: ior.APIDFS, Class: placement.S2},
+		{Label: "broken", API: ior.API("BOGUS"), Class: placement.S2},
+	}
+	st, err := Run(tinyConfig("easy", variants))
+	if err == nil {
+		t.Fatal("sweep with a broken variant returned nil error")
+	}
+	if !strings.Contains(err.Error(), "broken") || !strings.Contains(err.Error(), "unknown API") {
+		t.Fatalf("joined error does not name the failure: %v", err)
+	}
+	if st == nil {
+		t.Fatal("study not returned alongside point errors")
+	}
+	good, bad := st.find("good"), st.find("broken")
+	for _, pt := range good.Points {
+		if pt.Err != "" || pt.WriteGiBs <= 0 {
+			t.Fatalf("good series damaged by sibling failure: %+v", pt)
+		}
+	}
+	for _, pt := range bad.Points {
+		if pt.Err == "" {
+			t.Fatalf("failed point missing Err: %+v", pt)
+		}
+		if pt.Nodes == 0 || pt.Ranks == 0 {
+			t.Fatalf("failed point missing grid coordinates: %+v", pt)
+		}
+	}
+}
+
+// TestPointTimingsCollected verifies every completed point records its host
+// wall-clock cost.
+func TestPointTimingsCollected(t *testing.T) {
+	st, err := Run(tinyConfig("easy", []Variant{{Label: "daos S2", API: ior.APIDFS, Class: placement.S2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Elapsed <= 0 {
+		t.Fatal("study missing batch wall-clock")
+	}
+	for _, pt := range st.Series[0].Points {
+		if pt.Elapsed <= 0 {
+			t.Fatalf("point missing wall-clock: %+v", pt)
+		}
+	}
+}
+
+// TestRunAllBatches verifies that independent studies submitted as one batch
+// come back in order, fully populated.
+func TestRunAllBatches(t *testing.T) {
+	cfgA := tinyConfig("easy", []Variant{{Label: "daos S2", API: ior.APIDFS, Class: placement.S2}})
+	cfgB := tinyConfig("hard", []Variant{{Label: "daos (DFS)", API: ior.APIDFS, Class: placement.SX}})
+	studies, err := (&Runner{Parallelism: 4}).RunAll([]Config{cfgA, cfgB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(studies) != 2 {
+		t.Fatalf("studies = %d", len(studies))
+	}
+	if studies[0].Config.Workload != "easy" || studies[1].Config.Workload != "hard" {
+		t.Fatalf("batch order lost: %q then %q", studies[0].Config.Workload, studies[1].Config.Workload)
+	}
+	for _, st := range studies {
+		for _, s := range st.Series {
+			for _, pt := range s.Points {
+				if pt.WriteGiBs <= 0 || pt.ReadGiBs <= 0 {
+					t.Fatalf("unpopulated point in batch: %+v", pt)
+				}
+			}
+		}
+	}
+}
+
+// TestPointSeedDerivation pins the seed-derivation scheme: order-free,
+// decorrelated, and collision-free across a realistic grid.
+func TestPointSeedDerivation(t *testing.T) {
+	seen := map[uint64]string{}
+	for vi := 0; vi < 8; vi++ {
+		for _, nodes := range []int{1, 2, 4, 8, 16} {
+			s := PointSeed(2023, vi, nodes)
+			if s == 0 {
+				t.Fatal("zero seed would alias the RNG's remapped default")
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision between %s and (v%d,n%d)", prev, vi, nodes)
+			}
+			seen[s] = string(rune('a'+vi)) + "@" + string(rune('0'+nodes))
+			if s != PointSeed(2023, vi, nodes) {
+				t.Fatal("pointSeed not deterministic")
+			}
+		}
+	}
+	if PointSeed(1, 0, 1) == PointSeed(2, 0, 1) {
+		t.Fatal("base seed does not decorrelate points")
+	}
+}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// mixedWorkload drives a workload that exercises every interaction the fast
+// path must not reorder — plain Sleeps, FIFO Resource contention, Queue
+// send/recv, SharedBW fair sharing, and WaitGroup joins — and records a
+// trace entry (name@time) at every step. The trace captures the kernel's
+// (time, seq) firing order as observed by the processes.
+func mixedWorkload(s *Sim) *[]string {
+	trace := &[]string{}
+	note := func(p *Proc, what string) {
+		*trace = append(*trace, fmt.Sprintf("%s:%s@%v", p.Name(), what, p.Now()))
+	}
+	res := NewResource(s, "cpu", 2)
+	bw := NewSharedBW(s, "link", 1e9, 0)
+	q := NewQueue(s, "mbox")
+
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("worker%d", i)
+		delay := time.Duration(i) * 3 * time.Millisecond
+		size := int64(100_000 * (i + 1))
+		s.Spawn(name, func(p *Proc) {
+			p.Sleep(delay)
+			note(p, "awake")
+			res.Acquire(p)
+			note(p, "acquired")
+			p.Sleep(2 * time.Millisecond)
+			res.Release()
+			bw.Transfer(p, size)
+			note(p, "transferred")
+			q.Send(p.Name())
+			p.Sleep(time.Duration(size) * time.Nanosecond)
+			note(p, "done")
+		})
+	}
+	s.Spawn("collector", func(p *Proc) {
+		wg := NewWaitGroup(s)
+		for i := 0; i < 2; i++ {
+			d := time.Duration(i+1) * 5 * time.Millisecond
+			wg.Go("child", func(c *Proc) {
+				c.Sleep(d)
+				note(c, "child")
+			})
+		}
+		wg.Wait(p)
+		note(p, "joined")
+		for i := 0; i < 4; i++ {
+			v, ok := q.Recv(p)
+			if !ok {
+				return
+			}
+			note(p, "recv-"+v.(string))
+		}
+	})
+	return trace
+}
+
+// TestFastPathMatchesSlowPath is the kernel regression contract for the
+// inline Sleep fast path: with the fast path disabled (every Sleep parks and
+// round-trips through the scheduler) the same mixed workload must observe
+// the identical (time, order) trace.
+func TestFastPathMatchesSlowPath(t *testing.T) {
+	run := func(noFastPath bool) (trail []string, end time.Duration) {
+		s := New(7)
+		s.noFastPath = noFastPath
+		trace := mixedWorkload(s)
+		end = s.Run()
+		return *trace, end
+	}
+	fast, fastEnd := run(false)
+	slow, slowEnd := run(true)
+	if fastEnd != slowEnd {
+		t.Fatalf("end time diverged: fast %v, slow %v", fastEnd, slowEnd)
+	}
+	if len(fast) != len(slow) {
+		t.Fatalf("trace length diverged: fast %d, slow %d\nfast: %v\nslow: %v", len(fast), len(slow), fast, slow)
+	}
+	for i := range fast {
+		if fast[i] != slow[i] {
+			t.Fatalf("trace diverged at step %d: fast %q, slow %q", i, fast[i], slow[i])
+		}
+	}
+}
+
+// TestMixedWorkloadDeterministic verifies the reworked kernel still fires a
+// mixed Sleep/Resource/Queue/SharedBW workload in identical (time, seq)
+// order on every run.
+func TestMixedWorkloadDeterministic(t *testing.T) {
+	run := func() []string {
+		s := New(7)
+		trace := mixedWorkload(s)
+		s.Run()
+		return *trace
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("workload produced no trace")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at step %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSleepFastPathRespectsRunUntil pins the horizon rule: an inline sleep
+// must never advance virtual time past the innermost RunUntil limit.
+func TestSleepFastPathRespectsRunUntil(t *testing.T) {
+	s := New(1)
+	var wokeAt time.Duration
+	s.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(10 * time.Second)
+		wokeAt = p.Now()
+	})
+	if s.RunUntil(time.Second) {
+		t.Fatal("RunUntil drained with the sleeper still pending")
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("Now = %v after RunUntil(1s), want 1s", s.Now())
+	}
+	if wokeAt != 0 {
+		t.Fatalf("sleeper woke early at %v", wokeAt)
+	}
+	if !s.RunUntil(time.Minute) {
+		t.Fatal("queue did not drain")
+	}
+	if wokeAt != 10*time.Second {
+		t.Fatalf("sleeper woke at %v, want 10s", wokeAt)
+	}
+}
+
+// TestSleepInlineAdvance verifies the fast path actually engages: a lone
+// sleeper advances time without scheduling any heap event.
+func TestSleepInlineAdvance(t *testing.T) {
+	s := New(1)
+	s.Spawn("lone", func(p *Proc) {
+		before := s.queue.Len()
+		p.Sleep(time.Second)
+		if got := s.queue.Len(); got != before {
+			t.Errorf("lone sleep touched the event heap: %d -> %d entries", before, got)
+		}
+		if p.Now() != time.Second {
+			t.Errorf("Now = %v, want 1s", p.Now())
+		}
+	})
+	if end := s.Run(); end != time.Second {
+		t.Fatalf("end = %v, want 1s", end)
+	}
+}
+
+// TestEventPoolRecycles verifies popped events return to the free list
+// rather than being reallocated per interaction.
+func TestEventPoolRecycles(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	if len(s.free) == 0 {
+		t.Fatal("no events recycled to the free list")
+	}
+	// A second wave must be served from the pool.
+	before := len(s.free)
+	s.After(time.Millisecond, func() {})
+	if len(s.free) != before-1 {
+		t.Fatalf("push did not draw from the pool: free %d -> %d", before, len(s.free))
+	}
+	s.Run()
+}

@@ -109,7 +109,6 @@ type SharedBW struct {
 	// their processes deterministically, so no map iteration here.
 	flows    []*flow
 	last     time.Duration
-	pending  *event
 	gen      uint64
 	moved    float64 // total bytes completed, for accounting
 	maxFlows int
@@ -163,12 +162,11 @@ func (b *SharedBW) advance() {
 	}
 }
 
-// reschedule cancels any pending completion event and schedules the next.
+// reschedule supersedes any pending completion event and schedules the next.
+// Bumping the generation makes earlier scheduled completions no-ops when they
+// pop, which replaces explicit cancellation.
 func (b *SharedBW) reschedule() {
-	if b.pending != nil {
-		b.pending.cancel()
-		b.pending = nil
-	}
+	b.gen++
 	if len(b.flows) == 0 {
 		return
 	}
@@ -183,15 +181,7 @@ func (b *SharedBW) reschedule() {
 	if dt < 0 {
 		dt = 0
 	}
-	b.gen++
-	gen := b.gen
-	b.pending = b.sim.After(dt, func() {
-		if gen != b.gen {
-			return
-		}
-		b.pending = nil
-		b.complete()
-	})
+	b.sim.schedBW(b.sim.now+dt, b, b.gen)
 }
 
 // complete finishes every flow whose remaining bytes have drained, waking

@@ -12,23 +12,47 @@
 // links, or blocks on Queues, and the scheduler advances virtual time between
 // those interactions. Virtual time is a time.Duration measured from the start
 // of the run.
+//
+// Two fast paths keep the hot loop cheap without changing observable order:
+//
+//   - Timer-only interactions avoid goroutine parking entirely. When a
+//     process Sleeps and no other event is due at or before its wake time,
+//     the kernel advances virtual time inline on the calling goroutine
+//     instead of scheduling a wake event and handing control back to the
+//     scheduler (two channel handoffs each way).
+//
+//   - Events are plain pooled structs, not closures. Process wake-ups and
+//     SharedBW completions carry a target pointer instead of an allocated
+//     func, popped events are recycled through a free list, and the event
+//     heap is hand-rolled so pushes do not allocate.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
+
+// maxTime is the largest representable virtual time; Run uses it as the
+// inline-advance horizon.
+const maxTime = time.Duration(1<<63 - 1)
 
 // Sim is a discrete-event scheduler. The zero value is not usable; call New.
 type Sim struct {
 	now    time.Duration
 	seq    uint64
 	queue  eventHeap
+	free   []*event      // recycled events; popped entries return here
 	yield  chan struct{} // process -> scheduler handoff
 	nproc  int           // live (spawned, not yet finished) processes
 	parked int           // processes blocked on a resource/queue (no pending event)
 	rng    *RNG
+
+	// limit is the horizon of the innermost Run/RunUntil drive; the Sleep
+	// fast path must not advance time past it.
+	limit time.Duration
+	// noFastPath disables the inline Sleep fast path (test hook: the
+	// regression tests compare fast and slow traces for identical order).
+	noFastPath bool
 }
 
 // New returns a simulator whose random source is seeded with seed.
@@ -45,64 +69,169 @@ func (s *Sim) Now() time.Duration { return s.now }
 // RNG returns the simulator's deterministic random source.
 func (s *Sim) RNG() *RNG { return s.rng }
 
-// event is a scheduled callback. Events with equal times fire in insertion
-// order, which keeps runs reproducible.
+// event is a scheduled occurrence. Events with equal times fire in insertion
+// order, which keeps runs reproducible. Exactly one of fire, proc, or bw is
+// set: fire is a generic callback, proc wakes a parked process, and bw checks
+// a SharedBW completion (gen guards against stale, superseded completions).
+// Events are pooled: once popped they are reset and recycled, so no component
+// may retain a popped event.
 type event struct {
 	at   time.Duration
 	seq  uint64
 	fire func()
+	proc *Proc
+	bw   *SharedBW
+	gen  uint64
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). It avoids
+// container/heap's interface{} indirection on the hottest kernel path.
 type eventHeap []*event
 
+// Len returns the number of queued events (including stale ones).
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (h *eventHeap) push(e *event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	q := *h
+	e := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
 	return e
+}
+
+// alloc takes an event from the free list (or allocates one), stamping it
+// with the given time and the next insertion sequence.
+func (s *Sim) alloc(t time.Duration) *event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = new(event)
+	}
+	e.at = t
+	e.seq = s.seq
+	s.seq++
+	return e
+}
+
+// recycle resets a popped event and returns it to the free list.
+func (s *Sim) recycle(e *event) {
+	e.fire = nil
+	e.proc = nil
+	e.bw = nil
+	e.gen = 0
+	s.free = append(s.free, e)
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would violate causality.
-func (s *Sim) At(t time.Duration, fn func()) *event {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
-	}
-	e := &event{at: t, seq: s.seq, fire: fn}
-	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+func (s *Sim) At(t time.Duration, fn func()) {
+	e := s.alloc(t)
+	e.fire = fn
+	s.queue.push(e)
 }
 
 // After schedules fn to run d from now.
-func (s *Sim) After(d time.Duration, fn func()) *event { return s.At(s.now+d, fn) }
+func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
 
-// cancel marks an event as a no-op. The heap entry stays until popped.
-func (e *event) cancel() { e.fire = nil }
+// schedProc schedules a wake-up for p at absolute time t without allocating a
+// closure: the scheduler resumes p directly when the event pops.
+func (s *Sim) schedProc(t time.Duration, p *Proc) {
+	e := s.alloc(t)
+	e.proc = p
+	s.queue.push(e)
+}
+
+// schedBW schedules a completion check for b at absolute time t. The check
+// fires only if b's generation still equals gen; superseded completions are
+// dropped when popped, replacing explicit cancellation.
+func (s *Sim) schedBW(t time.Duration, b *SharedBW, gen uint64) {
+	e := s.alloc(t)
+	e.bw = b
+	e.gen = gen
+	s.queue.push(e)
+}
+
+// dispatch fires a popped event and recycles it.
+func (s *Sim) dispatch(e *event) {
+	switch {
+	case e.proc != nil:
+		p := e.proc
+		s.recycle(e)
+		s.resume(p)
+		return
+	case e.bw != nil:
+		b, gen := e.bw, e.gen
+		s.recycle(e)
+		if gen == b.gen {
+			b.complete()
+		}
+		return
+	case e.fire != nil:
+		fn := e.fire
+		s.recycle(e)
+		fn()
+		return
+	default:
+		s.recycle(e) // cancelled/stale
+	}
+}
 
 // Run drives the simulation until no events remain. It returns the final
 // virtual time. If processes are still blocked on resources when the event
 // queue drains, Run panics: that is a deadlock in the modelled system and
 // continuing would silently leak goroutines.
 func (s *Sim) Run() time.Duration {
+	s.limit = maxTime
 	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(*event)
-		if e.fire == nil {
-			continue // cancelled
-		}
+		e := s.queue.pop()
 		s.now = e.at
-		e.fire()
+		s.dispatch(e)
 	}
 	if s.parked > 0 {
 		panic(fmt.Sprintf("sim: deadlock: %d process(es) parked with no pending events at %v", s.parked, s.now))
@@ -114,17 +243,17 @@ func (s *Sim) Run() time.Duration {
 // events remain, whichever comes first. Processes may still be live when it
 // returns. It reports whether the event queue drained.
 func (s *Sim) RunUntil(limit time.Duration) bool {
+	s.limit = limit
 	for s.queue.Len() > 0 {
 		if s.queue[0].at > limit {
-			s.now = limit
+			if s.now < limit {
+				s.now = limit
+			}
 			return false
 		}
-		e := heap.Pop(&s.queue).(*event)
-		if e.fire == nil {
-			continue
-		}
+		e := s.queue.pop()
 		s.now = e.at
-		e.fire()
+		s.dispatch(e)
 	}
 	return true
 }
@@ -170,7 +299,7 @@ func (s *Sim) SpawnAt(t time.Duration, name string, body func(p *Proc)) {
 }
 
 // resume hands control to p and waits for it to yield back. Called only from
-// the scheduler goroutine (inside an event's fire).
+// the scheduler goroutine (inside an event's dispatch).
 func (s *Sim) resume(p *Proc) {
 	p.wake <- struct{}{}
 	<-s.yield
@@ -194,7 +323,7 @@ func (p *Proc) park() {
 
 // unpark schedules p to resume at the current virtual time.
 func (s *Sim) unpark(p *Proc) {
-	s.At(s.now, func() { s.resume(p) })
+	s.schedProc(s.now, p)
 }
 
 // ParkIdle blocks the process until Unpark, without counting toward deadlock
@@ -211,11 +340,25 @@ func (s *Sim) Unpark(p *Proc) { s.unpark(p) }
 // Sleep suspends the process for d of virtual time. Negative durations are
 // treated as zero (the process still yields, letting same-time events fire
 // in order).
+//
+// Fast path: when no other event is due at or before the wake time (and the
+// wake time is within the current drive's horizon), sleeping cannot
+// interleave with anything, so the kernel advances virtual time inline and
+// returns without parking the goroutine or touching the event heap. Relative
+// event order is exactly that of the slow path.
 func (p *Proc) Sleep(d time.Duration) {
+	s := p.sim
 	if d < 0 {
 		d = 0
 	}
-	p.sim.At(p.sim.now+d, func() { p.sim.resume(p) })
+	wake := s.now + d
+	// wake >= s.now rejects additive overflow; the slow path's alloc then
+	// panics on it loudly instead of moving the clock backward.
+	if !s.noFastPath && wake >= s.now && wake <= s.limit && (len(s.queue) == 0 || s.queue[0].at > wake) {
+		s.now = wake
+		return
+	}
+	s.schedProc(wake, p)
 	p.yieldWait()
 }
 
