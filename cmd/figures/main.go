@@ -5,12 +5,20 @@
 // Independent sweep points fan out across cores; -parallel bounds the pool
 // without changing any measured number.
 //
+// Completed sweep points can be memoized through a content-addressed cache
+// (see internal/cache): -cache enables it with a persistent disk tier under
+// ~/.daosim/cache, -cache-dir moves that tier (and implies -cache), and a
+// warm rerun replays byte-identical figures without simulating, reporting
+// its hit rate on exit.
+//
 //	figures                 # both figures, full node sweep, claim checks
 //	figures -quick          # reduced sweep (CI-sized)
 //	figures -fig 1          # only Figure 1
 //	figures -parallel 4     # at most 4 concurrent sweep points
 //	figures -ablations      # also run A1..A4
 //	figures -csv out.csv    # dump the raw series
+//	figures -cache          # memoize points under ~/.daosim/cache
+//	figures -cache-dir .c   # memoize points under ./.c
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"os"
 
 	"daosim/internal/bench"
+	"daosim/internal/cache"
 	"daosim/internal/core"
 )
 
@@ -31,6 +40,8 @@ func main() {
 		csvPath   = flag.String("csv", "", "write raw series CSV to this file")
 		parallel  = flag.Int("parallel", 0, "max concurrent sweep points (0 = all cores, 1 = sequential)")
 		seed      = flag.Uint64("seed", 0, "study seed (0 = testbed default)")
+		cacheOn   = flag.Bool("cache", false, "memoize sweep points (disk tier under ~/.daosim/cache unless -cache-dir overrides)")
+		cacheDir  = flag.String("cache-dir", "", "on-disk cache tier directory (implies -cache; explicitly empty = memory-only)")
 	)
 	flag.Parse()
 	opts := bench.Options{Parallelism: *parallel, Seed: *seed}
@@ -40,9 +51,14 @@ func main() {
 		opts.Scale = bench.Full
 	}
 
+	pointCache, err := cache.Open(*cacheOn, cache.FlagPassed("cache-dir"), *cacheDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.Cache = pointCache
+
 	var csv string
 	var easy, hard *core.Study
-	var err error
 
 	if *fig == 0 || *fig == 1 {
 		easy, err = bench.Figure1(opts)
@@ -80,6 +96,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("raw series written to %s\n", *csvPath)
+	}
+	if pointCache != nil {
+		fmt.Println(pointCache.Stats())
 	}
 }
 

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"daosim/internal/bench"
+	"daosim/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden CSV fixtures")
+
+// TestQuickCSVGolden pins the figures' CSV output against committed
+// fixtures, so cache- and kernel-refactors cannot silently drift results: a
+// deliberate physics change must regenerate the fixtures with -update (and
+// bump sim.KernelVersion to invalidate caches).
+func TestQuickCSVGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		file string
+		run  func(bench.Options) (*core.Study, error)
+	}{
+		{"figure1", "figure1_quick.csv", bench.Figure1},
+		{"figure2", "figure2_quick.csv", bench.Figure2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := tc.run(bench.At(bench.Quick))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := st.CSV()
+			path := filepath.Join("testdata", tc.file)
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (rerun with -update to generate)", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from the golden fixture.\nIf the physics change is deliberate, bump sim.KernelVersion and rerun with -update.\n--- got ---\n%s--- want ---\n%s",
+					tc.name, got, want)
+			}
+		})
+	}
+}
+
+// The -cache / -cache-dir flag matrix is covered by TestOpen in
+// internal/cache, which both commands share via cache.Open.

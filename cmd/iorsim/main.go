@@ -11,6 +11,10 @@
 // Sweep example (4 points, fanned out across cores):
 //
 //	iorsim -api DFS -fpp -class S2 -nodes 1,2,4,8 -parallel 4
+//
+// Sweeps can memoize completed points through the content-addressed cache
+// (-cache, -cache-dir; see internal/cache): a repeated sweep replays
+// byte-identical tables without simulating and reports its hit rate.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"daosim/internal/cache"
 	"daosim/internal/cluster"
 	"daosim/internal/core"
 	"daosim/internal/ior"
@@ -47,6 +52,8 @@ func main() {
 		readOnly   = flag.Bool("r", false, "read phase only (requires -w run data; use -w=false -r=false for both)")
 		parallel   = flag.Int("parallel", 0, "max concurrent sweep points (0 = all cores, 1 = sequential)")
 		seed       = flag.Uint64("seed", 0, "study seed (0 = default); every point, single or swept, runs on a seed derived from it so single runs match sweep rows")
+		cacheOn    = flag.Bool("cache", false, "memoize sweep points (sweeps only; disk tier under ~/.daosim/cache unless -cache-dir overrides)")
+		cacheDir   = flag.String("cache-dir", "", "on-disk cache tier directory (implies -cache; explicitly empty = memory-only)")
 	)
 	flag.Parse()
 
@@ -55,13 +62,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	nodeSweep := parseNodes(*nodes)
-	if len(nodeSweep) > 1 {
+	nodeSweep, sweep, err := parseNodes(*nodes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iorsim: %v\n", err)
+		os.Exit(2)
+	}
+	if sweep {
 		if *verify || *random || *writeOnly || *readOnly || !*reorder {
 			log.Fatal("iorsim: -R, -z, -w, -r, and -C=false apply to single-point runs; a -nodes sweep measures both phases with task reorder on")
 		}
+		pointCache, err := cache.Open(*cacheOn, cache.FlagPassed("cache-dir"), *cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
 		runSweep(nodeSweep, *ppn, ior.API(strings.ToUpper(*api)), cls, *fpp,
-			parseSize(*block), parseSize(*transfer), *segments, *iters, *collective, *parallel, *seed)
+			parseSize(*block), parseSize(*transfer), *segments, *iters, *collective, *parallel, *seed, pointCache)
 		return
 	}
 
@@ -111,15 +126,16 @@ func main() {
 	fmt.Printf("  virtual time:  %v\n", elapsed)
 }
 
-// runSweep fans a node sweep out through the core study runner.
+// runSweep fans a node sweep out through the core study runner, memoizing
+// points through c when non-nil.
 func runSweep(nodes []int, ppn int, api ior.API, cls placement.Class, fpp bool,
-	block, transfer int64, segments, iters int, collective bool, parallel int, seed uint64) {
+	block, transfer int64, segments, iters int, collective bool, parallel int, seed uint64, c *cache.Cache) {
 	workload := "hard"
 	if fpp {
 		workload = "easy"
 	}
 	label := strings.ToLower(string(api)) + " " + cls.Name
-	st, err := (&core.Runner{Parallelism: parallel}).Run(core.Config{
+	st, err := (&core.Runner{Parallelism: parallel, Cache: c}).Run(core.Config{
 		Workload:     workload,
 		Nodes:        nodes,
 		PPN:          ppn,
@@ -136,29 +152,44 @@ func runSweep(nodes []int, ppn int, api ior.API, cls placement.Class, fpp bool,
 	fmt.Print(st.Table(true))
 	fmt.Print(st.Table(false))
 	fmt.Printf("swept %d points in %v wall-clock\n", len(nodes), st.Elapsed)
+	if c != nil {
+		fmt.Println(c.Stats())
+	}
 }
 
 // parseNodes parses the -nodes flag: a single count or a comma-separated
-// sweep list.
-func parseNodes(s string) []int {
-	var out []int
+// sweep list. Whitespace around entries is ignored, empty entries (doubled
+// or trailing commas) are skipped, and duplicate counts collapse to their
+// first occurrence — a sweep point is a pure function of its node count, so
+// repeating it would only print the same row twice. sweep reports whether
+// the flag listed more than one entry before dedup, so `-nodes 8,8` still
+// runs (and validates its flags) as a sweep, not a single-point run.
+func parseNodes(s string) (out []int, sweep bool, err error) {
+	seen := make(map[int]bool)
+	entries := 0
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue
 		}
 		n, err := strconv.Atoi(part)
-		if err != nil || n <= 0 {
-			fmt.Fprintf(os.Stderr, "bad node count %q\n", part)
-			os.Exit(2)
+		if err != nil {
+			return nil, false, fmt.Errorf("bad node count %q", part)
 		}
+		if n <= 0 {
+			return nil, false, fmt.Errorf("node count must be positive, got %d", n)
+		}
+		entries++
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
 		out = append(out, n)
 	}
 	if len(out) == 0 {
-		fmt.Fprintln(os.Stderr, "empty -nodes list")
-		os.Exit(2)
+		return nil, false, fmt.Errorf("empty -nodes list %q", s)
 	}
-	return out
+	return out, entries > 1, nil
 }
 
 // parseSize parses IOR-style sizes: 4k, 2m, 1g, or plain bytes.

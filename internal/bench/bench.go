@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 
+	"daosim/internal/cache"
 	"daosim/internal/cluster"
 	"daosim/internal/core"
 	"daosim/internal/ior"
@@ -45,6 +46,12 @@ type Options struct {
 	Parallelism int
 	// Seed overrides the study seed (zero keeps the testbed default).
 	Seed uint64
+	// Cache, when non-nil, memoizes completed sweep points across
+	// experiments (see internal/cache): re-running any canned experiment
+	// with a warm cache replays byte-identical tables and CSV without
+	// simulating. Identical points shared between experiments (e.g. the
+	// DFS/S2 sweep appearing in several ablations) hit across them.
+	Cache *cache.Cache
 }
 
 // At is shorthand for Options{Scale: s}.
@@ -52,7 +59,7 @@ func At(s Scale) Options { return Options{Scale: s} }
 
 // runner returns the worker pool the experiment fans out on.
 func (o Options) runner() *core.Runner {
-	return &core.Runner{Parallelism: o.Parallelism}
+	return &core.Runner{Parallelism: o.Parallelism, Cache: o.Cache}
 }
 
 // Figure1 runs the easy (file-per-process) study behind the paper's Fig. 1.

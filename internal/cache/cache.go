@@ -1,0 +1,289 @@
+// Package cache implements a content-addressed memoization store for
+// completed study points. Study points are pure functions of their
+// configuration (see the key builder in internal/core): identical keys mean
+// identical physics, so a completed point's bandwidths can be replayed from
+// the cache instead of re-simulated.
+//
+// # Keys
+//
+// A Key is the SHA-256 of a canonical binary encoding of every
+// output-affecting input (workload geometry, variant physics, node count,
+// derived point seed, testbed sizing and cost models, and sim.KernelVersion).
+// The cache itself treats keys as opaque: callers build them with a Hasher,
+// which writes fixed-width, length-prefixed fields so distinct field
+// sequences can never collide by concatenation.
+//
+// # Tiers
+//
+// The cache has two tiers. The in-memory tier is a bounded LRU map; it
+// serves repeated lookups within one process. The optional on-disk tier
+// (Options.Dir, one small checksummed file per key) persists points across
+// processes so CI re-runs and repeated command invocations start warm. Disk
+// entries hydrate the memory tier on hit; memory evictions do not remove
+// disk files.
+//
+// # Invalidation and corruption
+//
+// Entries are never invalidated in place: a change to the simulated physics
+// is a sim.KernelVersion bump, which changes every key and orphans old
+// entries. Loads are corruption-tolerant by construction — a file that is
+// missing, truncated, mis-sized, or fails its checksum is a miss (counted in
+// Stats.Corrupt), never an error, and the subsequent store overwrites it.
+package cache
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Entry is one memoized study point: the measured bandwidth pair. Grid
+// coordinates (nodes, ranks) are not stored — they are part of the key and
+// re-derived by the caller.
+type Entry struct {
+	WriteGiBs float64
+	ReadGiBs  float64
+}
+
+// Options configures a Cache.
+type Options struct {
+	// MaxEntries bounds the in-memory LRU tier (default 4096).
+	MaxEntries int
+	// Dir, when non-empty, enables the on-disk tier rooted there. The
+	// directory is created if missing.
+	Dir string
+}
+
+// Stats are the cache's monotonic counters. Lookup outcomes partition into
+// Hits (MemHits + DiskHits) and Misses.
+type Stats struct {
+	Hits      int64 // lookups served from either tier
+	MemHits   int64 // hits served by the in-memory LRU
+	DiskHits  int64 // hits served by the disk tier (then hydrated into memory)
+	Misses    int64 // lookups that found nothing usable
+	Stores    int64 // entries written via Put
+	Evictions int64 // memory-tier LRU evictions (disk files are kept)
+	Corrupt   int64 // disk entries dropped as unreadable or checksum-failed
+	DiskErrs  int64 // best-effort disk writes that failed
+}
+
+// Lookups returns the total number of Get calls observed.
+func (s Stats) Lookups() int64 { return s.Hits + s.Misses }
+
+// HitRate returns hits/lookups in [0,1], or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if s.Lookups() == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups())
+}
+
+// String renders the counters on one line, e.g.
+//
+//	cache: 16 lookups, 16 hits, 0 misses (100.0% hits), 14 memory + 2 disk, 16 stores, 0 evictions, 0 corrupt
+//
+// Disk write failures are appended only when present — an unwritable tier
+// must be visible here, or the user discovers it as an inexplicably cold
+// rerun.
+func (s Stats) String() string {
+	out := fmt.Sprintf("cache: %d lookups, %d hits, %d misses (%.1f%% hits), %d memory + %d disk, %d stores, %d evictions, %d corrupt",
+		s.Lookups(), s.Hits, s.Misses, 100*s.HitRate(), s.MemHits, s.DiskHits, s.Stores, s.Evictions, s.Corrupt)
+	if s.DiskErrs > 0 {
+		out += fmt.Sprintf(", %d disk write errors", s.DiskErrs)
+	}
+	return out
+}
+
+// node is one memory-tier slot; list elements hold *node.
+type node struct {
+	k Key
+	e Entry
+}
+
+// Cache is a two-tier content-addressed store. It is safe for concurrent
+// use by the Runner's worker pool.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	dir   string
+	lru   *list.List            // front = most recently used
+	index map[Key]*list.Element // key -> lru element
+	stats Stats
+}
+
+// New creates a cache. It returns an error only when the disk tier is
+// requested and its directory cannot be created.
+func New(o Options) (*Cache, error) {
+	if o.MaxEntries <= 0 {
+		o.MaxEntries = 4096
+	}
+	if o.Dir != "" {
+		if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: disk tier: %w", err)
+		}
+	}
+	return &Cache{
+		max:   o.MaxEntries,
+		dir:   o.Dir,
+		lru:   list.New(),
+		index: make(map[Key]*list.Element),
+	}, nil
+}
+
+// Get returns the entry for k, consulting the memory tier and then the disk
+// tier. A disk hit hydrates the memory tier.
+func (c *Cache) Get(k Key) (Entry, bool) {
+	c.mu.Lock()
+	if el, ok := c.index[k]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		c.stats.MemHits++
+		e := el.Value.(*node).e
+		c.mu.Unlock()
+		return e, true
+	}
+	c.mu.Unlock()
+
+	// The disk read runs outside the lock so parallel workers do not
+	// serialize on I/O; insert below is idempotent if two workers race on
+	// the same key.
+	if c.dir != "" {
+		e, ok, corrupt := c.load(k)
+		if ok {
+			c.mu.Lock()
+			c.insert(k, e)
+			c.stats.Hits++
+			c.stats.DiskHits++
+			c.mu.Unlock()
+			return e, true
+		}
+		if corrupt {
+			c.mu.Lock()
+			c.stats.Corrupt++
+			c.mu.Unlock()
+		}
+	}
+
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return Entry{}, false
+}
+
+// Put stores the entry for k in the memory tier and, best-effort, the disk
+// tier. Disk write failures are counted, never surfaced: the cache is an
+// accelerator, not a system of record.
+func (c *Cache) Put(k Key, e Entry) {
+	c.mu.Lock()
+	c.insert(k, e)
+	c.stats.Stores++
+	c.mu.Unlock()
+	if c.dir != "" {
+		if err := c.store(k, e); err != nil {
+			c.mu.Lock()
+			c.stats.DiskErrs++
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of entries in the memory tier.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// insert adds or refreshes k in the memory tier and evicts past the bound.
+// Callers hold c.mu.
+func (c *Cache) insert(k Key, e Entry) {
+	if el, ok := c.index[k]; ok {
+		el.Value.(*node).e = e
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.index[k] = c.lru.PushFront(&node{k: k, e: e})
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.index, back.Value.(*node).k)
+		c.stats.Evictions++
+	}
+}
+
+// Disk-tier entry layout: an 8-byte magic, the two bandwidth float64s in
+// little-endian IEEE bits, and a CRC-32 of the payload. Anything that does
+// not parse exactly is treated as absent.
+const (
+	diskMagic = "daoscch1"
+	diskSize  = len(diskMagic) + 16 + 4
+)
+
+// path returns the disk file for k.
+func (c *Cache) path(k Key) string {
+	return filepath.Join(c.dir, k.String()+".pt")
+}
+
+// load reads k from the disk tier. corrupt reports a file that existed but
+// did not decode.
+func (c *Cache) load(k Key) (e Entry, ok, corrupt bool) {
+	buf, err := os.ReadFile(c.path(k))
+	if err != nil {
+		// Missing is the common cold-cache case; any other read error is
+		// equally just a miss (corruption-tolerance is the contract).
+		return Entry{}, false, !os.IsNotExist(err)
+	}
+	if len(buf) != diskSize || string(buf[:len(diskMagic)]) != diskMagic {
+		return Entry{}, false, true
+	}
+	payload := buf[len(diskMagic) : len(diskMagic)+16]
+	sum := binary.LittleEndian.Uint32(buf[len(diskMagic)+16:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Entry{}, false, true
+	}
+	e.WriteGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[:8]))
+	e.ReadGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[8:]))
+	return e, true, false
+}
+
+// store writes k to the disk tier atomically (temp file + rename), so a
+// crashed or concurrent writer can never leave a torn entry at the final
+// path.
+func (c *Cache) store(k Key, e Entry) error {
+	buf := make([]byte, diskSize)
+	copy(buf, diskMagic)
+	binary.LittleEndian.PutUint64(buf[len(diskMagic):], math.Float64bits(e.WriteGiBs))
+	binary.LittleEndian.PutUint64(buf[len(diskMagic)+8:], math.Float64bits(e.ReadGiBs))
+	binary.LittleEndian.PutUint32(buf[len(diskMagic)+16:], crc32.ChecksumIEEE(buf[len(diskMagic):len(diskMagic)+16]))
+
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path(k)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+	"math"
+	"time"
+)
+
+// Key is a content address: the SHA-256 of a canonical field encoding built
+// with a Hasher.
+type Key [sha256.Size]byte
+
+// String returns the key as lowercase hex (also the disk-tier file stem).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Hasher builds a Key from a sequence of typed fields. Every numeric field
+// is written as fixed-width little-endian bytes and every string is
+// length-prefixed, so within one fixed field schema two different value
+// sequences cannot encode to the same byte stream. (Across schemas the
+// encoding is not self-describing — String("") and Uint64(0) encode
+// identically — so a key builder must fix its field order and types, and
+// version that schema in a leading domain-separation string.) Key builders
+// must feed every output-affecting field — a missed field silently serves
+// wrong physics — and should also hash a kernel version for invalidation.
+type Hasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+// NewHasher returns an empty Hasher.
+func NewHasher() *Hasher { return &Hasher{h: sha256.New()} }
+
+// Uint64 appends v.
+func (h *Hasher) Uint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.buf[i] = byte(v >> (8 * i))
+	}
+	h.h.Write(h.buf[:])
+}
+
+// Int appends v (two's-complement widened, so negatives are well-defined).
+func (h *Hasher) Int(v int) { h.Uint64(uint64(int64(v))) }
+
+// Int64 appends v.
+func (h *Hasher) Int64(v int64) { h.Uint64(uint64(v)) }
+
+// Float64 appends v's IEEE-754 bits (NaN payloads and signed zeros are
+// distinct inputs and hash distinctly).
+func (h *Hasher) Float64(v float64) { h.Uint64(math.Float64bits(v)) }
+
+// Duration appends d.
+func (h *Hasher) Duration(d time.Duration) { h.Int64(int64(d)) }
+
+// Bool appends b.
+func (h *Hasher) Bool(b bool) {
+	v := uint64(0)
+	if b {
+		v = 1
+	}
+	h.Uint64(v)
+}
+
+// String appends s, length-prefixed.
+func (h *Hasher) String(s string) {
+	h.Uint64(uint64(len(s)))
+	h.h.Write([]byte(s))
+}
+
+// Sum finalizes the key. The Hasher must not be used afterwards.
+func (h *Hasher) Sum() (k Key) {
+	h.h.Sum(k[:0])
+	return k
+}

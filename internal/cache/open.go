@@ -1,0 +1,48 @@
+package cache
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FlagPassed reports whether the named command-line flag was explicitly
+// set. It exists next to Open because Open's dirSet parameter is exactly
+// this question for -cache-dir; keeping both here keeps every CLI's cache
+// wiring identical.
+func FlagPassed(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// Open builds the cache described by a command's -cache / -cache-dir flags,
+// with one policy shared by every CLI: nil when caching is off, a
+// disk-backed cache at dir (an explicitly passed -cache-dir implies
+// -cache) or the default ~/.daosim/cache, and a memory-only cache when
+// -cache-dir is explicitly empty. dirSet reports whether -cache-dir
+// appeared on the command line. When the default tier is wanted but the
+// home directory cannot be resolved, Open returns an error rather than
+// silently degrading a requested persistent cache to a process-lifetime
+// one.
+func Open(enabled, dirSet bool, dir string) (*Cache, error) {
+	if dirSet && dir != "" {
+		enabled = true
+	}
+	if !enabled {
+		return nil, nil
+	}
+	if !dirSet {
+		home, err := os.UserHomeDir()
+		if err != nil {
+			return nil, fmt.Errorf("cache: cannot resolve the default ~/.daosim/cache tier (%v); pass -cache-dir", err)
+		}
+		dir = filepath.Join(home, ".daosim", "cache")
+	}
+	return New(Options{Dir: dir})
+}

@@ -1,0 +1,62 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOpen covers the shared CLI flag matrix: off by default, -cache uses
+// the home-directory default, an explicit -cache-dir implies -cache, an
+// explicitly empty -cache-dir keeps the cache memory-only, and an
+// unresolvable home directory is an error rather than a silent downgrade.
+func TestOpen(t *testing.T) {
+	home := t.TempDir()
+	t.Setenv("HOME", home)
+
+	t.Run("off", func(t *testing.T) {
+		c, err := Open(false, false, "")
+		if err != nil || c != nil {
+			t.Fatalf("cache without -cache: %v, %v", c, err)
+		}
+	})
+	t.Run("cache-dir implies cache", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "tier")
+		c, err := Open(false, true, dir)
+		if err != nil || c == nil {
+			t.Fatalf("Open(-cache-dir): %v, %v", c, err)
+		}
+		k := keyOf("probe")
+		c.Put(k, Entry{WriteGiBs: 1})
+		if _, err := os.Stat(filepath.Join(dir, k.String()+".pt")); err != nil {
+			t.Fatalf("disk tier not at -cache-dir: %v", err)
+		}
+	})
+	t.Run("explicitly empty dir is memory-only", func(t *testing.T) {
+		c, err := Open(true, true, "")
+		if err != nil || c == nil {
+			t.Fatalf("Open(-cache -cache-dir \"\"): %v, %v", c, err)
+		}
+		c.Put(keyOf("probe"), Entry{WriteGiBs: 1})
+		if _, err := os.Stat(filepath.Join(home, ".daosim")); !os.IsNotExist(err) {
+			t.Fatalf("memory-only mode touched the home dir: %v", err)
+		}
+	})
+	t.Run("default dir", func(t *testing.T) {
+		c, err := Open(true, false, "")
+		if err != nil || c == nil {
+			t.Fatalf("Open(-cache): %v, %v", c, err)
+		}
+		k := keyOf("probe")
+		c.Put(k, Entry{WriteGiBs: 1})
+		if _, err := os.Stat(filepath.Join(home, ".daosim", "cache", k.String()+".pt")); err != nil {
+			t.Fatalf("default disk tier not under ~/.daosim/cache: %v", err)
+		}
+	})
+	t.Run("unresolvable home is an error", func(t *testing.T) {
+		t.Setenv("HOME", "")
+		if c, err := Open(true, false, ""); err == nil {
+			t.Fatalf("Open with no home dir silently returned %v", c)
+		}
+	})
+}

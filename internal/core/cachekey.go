@@ -1,0 +1,78 @@
+package core
+
+import (
+	"daosim/internal/cache"
+	"daosim/internal/sim"
+)
+
+// pointKey is the content address of one sweep point: the canonical hash of
+// every input that affects the point's measured bandwidths. The cache
+// contract is one-directional — over-keying merely misses, under-keying
+// silently serves wrong physics — so the rule for this function is: any
+// field that reaches the simulation must be hashed, and only fields that
+// provably cannot change a measured number may be omitted.
+//
+// Omitted on purpose:
+//   - Variant.Label: names the series in tables/CSV; never reaches the
+//     simulation.
+//   - Config.Parallelism: scheduling width; results are identical at any
+//     setting (the Runner's determinism contract).
+//   - Config.Nodes as a list and the variant index: a point depends only on
+//     its own node count; list order and grid shape reach the point solely
+//     through the derived seed, which is hashed.
+//   - Config.Seed and Testbed.Seed: runPoint overwrites the testbed seed
+//     with the derived point seed, so only `seed` matters.
+//
+// The key is versioned twice: a schema tag for this function's own layout,
+// and sim.KernelVersion for the simulated physics, so a kernel change
+// invalidates every cached point at once.
+func pointKey(cfg Config, v Variant, nodes int, seed uint64) cache.Key {
+	return pointKeyAt(sim.KernelVersion, cfg, v, nodes, seed)
+}
+
+// pointKeyAt is pointKey at an explicit kernel version (split out so tests
+// can prove a version bump reaches the key).
+func pointKeyAt(kernel int, cfg Config, v Variant, nodes int, seed uint64) cache.Key {
+	h := cache.NewHasher()
+	h.String("daosim/point/v1")
+	h.Int(kernel)
+
+	// Point identity and derived seed.
+	h.Int(nodes)
+	h.Uint64(seed)
+
+	// IOR geometry (cfg.Workload selects file-per-process vs shared file).
+	h.String(cfg.Workload)
+	h.Int(cfg.PPN)
+	h.Int64(cfg.BlockSize)
+	h.Int64(cfg.TransferSize)
+	h.Int(cfg.Segments)
+	h.Int(cfg.Iterations)
+
+	// Variant physics.
+	h.String(string(v.API))
+	h.Int(int(v.Class))
+	h.Bool(v.Collective)
+
+	// Testbed sizing.
+	t := cfg.Testbed
+	h.Int(t.ServerNodes)
+	h.Int(t.EnginesPerNode)
+	h.Int(t.TargetsPerEngine)
+	h.Int(t.DCPMMModules)
+	h.Int(t.ClientNodes)
+	h.Int(t.ServiceReplicas)
+
+	// Fabric cost model.
+	h.Duration(t.Fabric.WireLatency)
+	h.Float64(t.Fabric.NICBW)
+	h.Float64(t.Fabric.FlowBW)
+	h.Int64(t.Fabric.MsgOverhead)
+
+	// Engine cost model.
+	h.Duration(t.EngineCosts.RPCCost)
+	h.Duration(t.EngineCosts.PerExtentCost)
+	h.Duration(t.EngineCosts.FirstTouchCost)
+
+	return h.Sum()
+}

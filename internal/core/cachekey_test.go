@@ -1,0 +1,175 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"daosim/internal/cluster"
+	"daosim/internal/engine"
+	"daosim/internal/fabric"
+	"daosim/internal/ior"
+	"daosim/internal/placement"
+)
+
+// keyConfig builds a fully-specified Config from fuzz-controlled scalars.
+func keyConfig(workload string, ppn int, block, transfer int64, segments, iters int) Config {
+	cfg := Config{
+		Workload:     workload,
+		Nodes:        []int{1, 2, 4},
+		PPN:          ppn,
+		BlockSize:    block,
+		TransferSize: transfer,
+		Segments:     segments,
+		Iterations:   iters,
+	}
+	cfg.Defaults()
+	return cfg
+}
+
+// FuzzPointKey fuzzes the cache-key canonicalization invariant both ways:
+// two configurations that differ in any output-affecting field must hash
+// differently, and configurations that differ only in output-irrelevant
+// ways (series label, pool width, node-list order, study-seed bookkeeping)
+// must hash identically. `go test` runs the seed corpus; `go test
+// -fuzz=FuzzPointKey ./internal/core` explores further.
+func FuzzPointKey(f *testing.F) {
+	f.Add("easy", 8, int64(16<<20), int64(2<<20), 1, 1, 4, uint64(2023), "DFS", 1, false)
+	f.Add("hard", 1, int64(1<<20), int64(256<<10), 2, 3, 16, uint64(1), "MPIIO", 4, true)
+	f.Add("easy", 16, int64(64<<20), int64(4<<20), 1, 2, 1, uint64(0xDEADBEEF), "HDF5", 0, false)
+	f.Add("", 0, int64(0), int64(0), 0, 0, 0, uint64(0), "", -1, true)
+	f.Fuzz(func(t *testing.T, workload string, ppn int, block, transfer int64, segments, iters, nodes int, seed uint64, api string, class int, collective bool) {
+		cfg := keyConfig(workload, ppn, block, transfer, segments, iters)
+		v := Variant{Label: "series", API: ior.API(api), Class: placement.ClassID(class), Collective: collective}
+		base := pointKey(cfg, v, nodes, seed)
+
+		// Determinism: the same inputs always produce the same key.
+		if pointKey(cfg, v, nodes, seed) != base {
+			t.Fatal("pointKey not deterministic")
+		}
+
+		// Equivalences: fields that cannot change a measured number must
+		// not move the key.
+		{
+			cfg2 := cfg
+			cfg2.Parallelism = cfg.Parallelism + 7
+			cfg2.Nodes = []int{4, 2, 1} // point keys ignore grid shape and order
+			cfg2.Seed = seed + 1        // only the derived seed argument matters
+			cfg2.Testbed.Seed++         // runPoint overwrites the testbed seed
+			v2 := v
+			v2.Label = v.Label + " (renamed)"
+			if pointKey(cfg2, v2, nodes, seed) != base {
+				t.Fatal("output-irrelevant field moved the key")
+			}
+		}
+
+		// Distinctions: every output-affecting field must move the key.
+		type mutation struct {
+			name string
+			key  func() [32]byte
+		}
+		mut := func(name string, edit func(cfg *Config, v *Variant, nodes *int, seed *uint64)) mutation {
+			return mutation{name, func() [32]byte {
+				c2, v2, n2, s2 := cfg, v, nodes, seed
+				edit(&c2, &v2, &n2, &s2)
+				return pointKey(c2, v2, n2, s2)
+			}}
+		}
+		muts := []mutation{
+			mut("workload", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.Workload += "x" }),
+			mut("ppn", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.PPN++ }),
+			mut("block", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.BlockSize++ }),
+			mut("transfer", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.TransferSize++ }),
+			mut("segments", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.Segments++ }),
+			mut("iterations", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.Iterations++ }),
+			mut("nodes", func(_ *Config, _ *Variant, n *int, _ *uint64) { *n++ }),
+			mut("seed", func(_ *Config, _ *Variant, _ *int, s *uint64) { *s++ }),
+			mut("api", func(_ *Config, v *Variant, _ *int, _ *uint64) { v.API += "x" }),
+			mut("class", func(_ *Config, v *Variant, _ *int, _ *uint64) { v.Class++ }),
+			mut("collective", func(_ *Config, v *Variant, _ *int, _ *uint64) { v.Collective = !v.Collective }),
+			mut("server nodes", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.Testbed.ServerNodes++ }),
+			mut("engines/node", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.Testbed.EnginesPerNode++ }),
+			mut("targets/engine", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.Testbed.TargetsPerEngine++ }),
+			mut("dcpmm modules", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.Testbed.DCPMMModules++ }),
+			mut("client nodes", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.Testbed.ClientNodes++ }),
+			mut("svc replicas", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.Testbed.ServiceReplicas++ }),
+			mut("wire latency", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.Testbed.Fabric.WireLatency += time.Nanosecond }),
+			mut("nic bw", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.Testbed.Fabric.NICBW++ }),
+			mut("flow bw", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.Testbed.Fabric.FlowBW++ }),
+			mut("msg overhead", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.Testbed.Fabric.MsgOverhead++ }),
+			mut("rpc cost", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.Testbed.EngineCosts.RPCCost += time.Nanosecond }),
+			mut("extent cost", func(c *Config, _ *Variant, _ *int, _ *uint64) { c.Testbed.EngineCosts.PerExtentCost += time.Nanosecond }),
+			mut("first-touch cost", func(c *Config, _ *Variant, _ *int, _ *uint64) {
+				c.Testbed.EngineCosts.FirstTouchCost += time.Nanosecond
+			}),
+		}
+		for _, m := range muts {
+			if m.key() == base {
+				t.Fatalf("mutating %s did not change the key — the cache would serve wrong physics", m.name)
+			}
+		}
+	})
+}
+
+// TestKeySchemaExhaustive pins the field counts of every struct pointKey
+// canonicalizes, so adding a field to any of them fails here until the new
+// field is either hashed in pointKeyAt (plus a mutation in FuzzPointKey) or
+// documented as output-irrelevant in pointKey's comment — the guard against
+// silently under-keying the cache.
+func TestKeySchemaExhaustive(t *testing.T) {
+	counts := []struct {
+		name string
+		typ  reflect.Type
+		want int
+	}{
+		{"core.Config", reflect.TypeOf(Config{}), 11},
+		{"core.Variant", reflect.TypeOf(Variant{}), 4},
+		{"cluster.Config", reflect.TypeOf(cluster.Config{}), 9},
+		{"fabric.Config", reflect.TypeOf(fabric.Config{}), 4},
+		{"engine.Costs", reflect.TypeOf(engine.Costs{}), 3},
+	}
+	for _, c := range counts {
+		if got := c.typ.NumField(); got != c.want {
+			t.Errorf("%s grew from %d to %d fields: hash any output-affecting addition in pointKeyAt, add a FuzzPointKey mutation (or document the exclusion), then update this count",
+				c.name, c.want, got)
+		}
+	}
+}
+
+// TestKernelVersionInKey proves a sim.KernelVersion bump invalidates every
+// cached point: the same configuration keys differently under a different
+// kernel version.
+func TestKernelVersionInKey(t *testing.T) {
+	cfg := keyConfig("easy", 8, 16<<20, 2<<20, 1, 1)
+	v := Variant{API: ior.APIDFS, Class: placement.S2}
+	if pointKeyAt(1, cfg, v, 4, 2023) == pointKeyAt(2, cfg, v, 4, 2023) {
+		t.Fatal("kernel version does not reach the cache key")
+	}
+}
+
+// TestPointKeyGridCollisionFree checks that every point of a realistic
+// batch (two figures plus ablation grids) gets a distinct key — grid
+// coordinates flow into the key via node count, geometry, and derived seed.
+func TestPointKeyGridCollisionFree(t *testing.T) {
+	seen := map[string]string{}
+	add := func(cfg Config, tag string) {
+		cfg.Defaults()
+		for vi, v := range cfg.Variants {
+			for _, n := range cfg.Nodes {
+				k := pointKey(cfg, v, n, PointSeed(cfg.Seed, vi, n)).String()
+				id := tag + "/" + v.Label + "@" + string(rune('0'+n))
+				// Identical physics across experiments may legitimately
+				// share a key (that is the cache working across sweeps);
+				// within one grid, collisions would corrupt the study.
+				if prev, dup := seen[k]; dup && prev[:len(tag)] == tag {
+					t.Fatalf("key collision: %s vs %s", prev, id)
+				}
+				seen[k] = id
+			}
+		}
+	}
+	easy := Config{Workload: "easy", Nodes: []int{1, 2, 4, 8}, Variants: EasyVariants()}
+	hard := Config{Workload: "hard", Nodes: []int{1, 2, 4, 8}, Variants: HardVariants()}
+	add(easy, "easy")
+	add(hard, "hard")
+}

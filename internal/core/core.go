@@ -21,6 +21,13 @@
 // node count) with splitmix64 — never from execution order — so a parallel
 // sweep produces byte-identical Table/CSV output to a sequential run of the
 // same seed.
+//
+// Because a point is a pure function of its inputs, the Runner can memoize
+// completed points through an optional content-addressed cache
+// (Runner.Cache, backed by internal/cache): the key hashes every
+// output-affecting field — geometry, variant physics, node count, derived
+// seed, testbed cost models, and sim.KernelVersion — so a warm sweep
+// replays byte-identical results without simulating.
 package core
 
 import (

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"daosim/internal/cache"
 )
 
 // Runner executes study sweeps on a bounded worker pool. Every
@@ -20,6 +22,14 @@ type Runner struct {
 	// Config.Parallelism in the batch applies, and failing that
 	// runtime.GOMAXPROCS(0).
 	Parallelism int
+
+	// Cache, when non-nil, memoizes completed points by the content hash
+	// of every output-affecting input (see pointKey). A hit replays the
+	// point's bandwidths without simulating; output is byte-identical to
+	// an uncached run because points are pure functions of their key.
+	// Failed points are never cached. The cache may be shared across
+	// Runners and batches — identical keys mean identical physics.
+	Cache *cache.Cache
 }
 
 // Run executes one study sweep.
@@ -82,7 +92,7 @@ func (r *Runner) RunAll(cfgs []Config) ([]*Study, error) {
 	mapN(workers, len(jobs), func(i int) {
 		j := jobs[i]
 		t0 := time.Now()
-		pt, err := runPoint(j.cfg, j.variant, j.nodes, j.seed)
+		pt, err := r.point(j.cfg, j.variant, j.nodes, j.seed)
 		pt.Nodes = j.nodes
 		pt.Ranks = j.nodes * j.cfg.PPN
 		pt.Elapsed = time.Since(t0)
@@ -106,6 +116,24 @@ func (r *Runner) RunAll(cfgs []Config) ([]*Study, error) {
 		}
 	}
 	return studies, errors.Join(errs...)
+}
+
+// point measures one sweep point, consulting the Runner's cache first. On a
+// miss the simulated result is stored so later sweeps over the same
+// configuration replay it.
+func (r *Runner) point(cfg Config, v Variant, nodes int, seed uint64) (Point, error) {
+	if r.Cache == nil {
+		return runPoint(cfg, v, nodes, seed)
+	}
+	k := pointKey(cfg, v, nodes, seed)
+	if e, ok := r.Cache.Get(k); ok {
+		return Point{WriteGiBs: e.WriteGiBs, ReadGiBs: e.ReadGiBs}, nil
+	}
+	pt, err := runPoint(cfg, v, nodes, seed)
+	if err == nil {
+		r.Cache.Put(k, cache.Entry{WriteGiBs: pt.WriteGiBs, ReadGiBs: pt.ReadGiBs})
+	}
+	return pt, err
 }
 
 // Map runs n independent jobs on the Runner's worker pool and joins their

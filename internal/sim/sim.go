@@ -32,6 +32,17 @@ import (
 	"time"
 )
 
+// KernelVersion identifies the observable behavior of the whole simulation
+// stack: the event kernel plus every cost model layered on it (fabric,
+// media, engine, placement, protocol paths). It participates in every
+// content-addressed point-cache key (see internal/cache and the key builder
+// in internal/core), so bumping it invalidates all previously cached study
+// results at once. Bump it whenever a change anywhere in the simulated
+// physics alters any measured number; a pure refactor that keeps traces
+// byte-identical does not need a bump. Version 2 is the pooled-event,
+// inline-fast-path kernel.
+const KernelVersion = 2
+
 // maxTime is the largest representable virtual time; Run uses it as the
 // inline-advance horizon.
 const maxTime = time.Duration(1<<63 - 1)
