@@ -1,0 +1,205 @@
+// Command benchjson converts `go test -bench` output into a machine-readable
+// JSON ledger, so performance numbers can be committed next to the code they
+// describe and diffed across changes. It reads benchmark text on stdin and
+// merges the parsed run into -out under -label, preserving runs recorded
+// under other labels — the committed BENCH_kernel.json keeps a "before" and
+// an "after" run of the sim kernel benchmarks, and CI uploads a fresh "ci"
+// ledger as a build artifact.
+//
+//	go test -run '^$' -bench . -benchmem ./internal/sim |
+//	    go run ./cmd/benchjson -label after -out BENCH_kernel.json
+//
+// Without -out the merged ledger is written to stdout.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements. Metrics carries any extra
+// unit pairs (e.g. custom b.ReportMetric units) keyed by unit name.
+type Result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run is one labelled invocation of a benchmark suite.
+type Run struct {
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	Pkg        string            `json:"pkg,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// Ledger is the merged on-disk document: one Run per label.
+type Ledger struct {
+	Runs map[string]Run `json:"runs"`
+}
+
+// procSuffix returns the trailing -<digits> of a benchmark name (e.g. "-8"
+// of "BenchmarkFoo-8"), or "" if there is none.
+func procSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return ""
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return ""
+	}
+	return name[i:]
+}
+
+// trimProcSuffixes drops the -GOMAXPROCS suffix go test appends to benchmark
+// names, so runs from machines with different core counts merge cleanly. The
+// suffix is stripped only by consensus: go test stamps every line of a run
+// with the same -N, so unless all names end in one identical -<digits> the
+// trailing digits belong to the names themselves (e.g. sub-benchmarks like
+// BenchmarkX/wave-256 on a GOMAXPROCS=1 machine, where go test appends
+// nothing) and are preserved.
+func trimProcSuffixes(benchmarks map[string]Result) map[string]Result {
+	suffix := ""
+	for name := range benchmarks {
+		s := procSuffix(name)
+		if s == "" || (suffix != "" && s != suffix) {
+			return benchmarks
+		}
+		suffix = s
+	}
+	trimmed := make(map[string]Result, len(benchmarks))
+	for name, res := range benchmarks {
+		trimmed[strings.TrimSuffix(name, suffix)] = res
+	}
+	return trimmed
+}
+
+// parse reads `go test -bench` text and returns the run it describes. Later
+// duplicate benchmark lines overwrite earlier ones, so concatenated outputs
+// resolve to the freshest numbers.
+func parse(r io.Reader) (Run, error) {
+	run := Run{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			run.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			run.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			run.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a PASS/FAIL or name-only progress line
+		}
+		res := Result{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return Run{}, fmt.Errorf("benchjson: bad value %q in line %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		run.Benchmarks[fields[0]] = res
+	}
+	if err := sc.Err(); err != nil {
+		return Run{}, err
+	}
+	if len(run.Benchmarks) == 0 {
+		return Run{}, errors.New("benchjson: no benchmark lines found on stdin")
+	}
+	run.Benchmarks = trimProcSuffixes(run.Benchmarks)
+	return run, nil
+}
+
+// merge loads the ledger at path (if any), replaces the run under label, and
+// returns the updated document.
+func merge(path, label string, run Run) (Ledger, error) {
+	ledger := Ledger{Runs: map[string]Run{}}
+	if path != "" {
+		data, err := os.ReadFile(path)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// first write
+		case err != nil:
+			return Ledger{}, err
+		default:
+			if err := json.Unmarshal(data, &ledger); err != nil {
+				return Ledger{}, fmt.Errorf("benchjson: %s: %w", path, err)
+			}
+			if ledger.Runs == nil {
+				ledger.Runs = map[string]Run{}
+			}
+		}
+	}
+	ledger.Runs[label] = run
+	return ledger, nil
+}
+
+func main() {
+	out := flag.String("out", "", "ledger file to merge into (default: write to stdout)")
+	label := flag.String("label", "run", "label to record this run under")
+	flag.Parse()
+
+	run, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ledger, err := merge(*out, *label, run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

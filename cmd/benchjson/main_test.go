@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: daosim/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEventScheduling-4    	 5092879	       109.8 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSharedBWManyFlows-4  	  983970	       574.7 ns/op	      16 B/op	       1 allocs/op
+BenchmarkFigure1-4   	       1	 12345678 ns/op	         5.916 daos_S1_w_GiB/s
+PASS
+ok  	daosim/internal/sim	3.207s
+`
+
+func TestParse(t *testing.T) {
+	run, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Goos != "linux" || run.Goarch != "amd64" || run.Pkg != "daosim/internal/sim" {
+		t.Fatalf("header = %q/%q/%q", run.Goos, run.Goarch, run.Pkg)
+	}
+	if !strings.Contains(run.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", run.CPU)
+	}
+	es, ok := run.Benchmarks["BenchmarkEventScheduling"]
+	if !ok {
+		t.Fatalf("missing BenchmarkEventScheduling: %v", run.Benchmarks)
+	}
+	if es.Iterations != 5092879 || es.NsPerOp != 109.8 || es.BytesPerOp != 0 || es.AllocsPerOp != 0 {
+		t.Fatalf("EventScheduling = %+v", es)
+	}
+	// The -4 GOMAXPROCS suffix is shared by every line, so it is stripped.
+	mf, ok := run.Benchmarks["BenchmarkSharedBWManyFlows"]
+	if !ok {
+		t.Fatalf("proc suffix not stripped: %v", run.Benchmarks)
+	}
+	if mf.NsPerOp != 574.7 || mf.BytesPerOp != 16 || mf.AllocsPerOp != 1 {
+		t.Fatalf("ManyFlows = %+v", mf)
+	}
+	fig, ok := run.Benchmarks["BenchmarkFigure1"]
+	if !ok || fig.Metrics["daos_S1_w_GiB/s"] != 5.916 {
+		t.Fatalf("custom metric lost: %+v", fig)
+	}
+}
+
+func TestParseLastWins(t *testing.T) {
+	two := sample + "\nBenchmarkEventScheduling-4   	 10	 222.0 ns/op	 0 B/op	 0 allocs/op\n"
+	run, err := parse(strings.NewReader(two))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run.Benchmarks["BenchmarkEventScheduling"].NsPerOp; got != 222.0 {
+		t.Fatalf("ns/op = %v, want the later line (222.0)", got)
+	}
+}
+
+func TestParseKeepsRealTrailingDigits(t *testing.T) {
+	// On a GOMAXPROCS=1 machine go test appends no -N suffix, so trailing
+	// digits belong to the benchmark names and must survive: without
+	// suffix consensus nothing is stripped.
+	in := `BenchmarkX/wave-128   	 10	 100.0 ns/op
+BenchmarkX/wave-256   	 10	 200.0 ns/op
+BenchmarkPlain        	 10	 300.0 ns/op
+`
+	run, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Benchmarks["BenchmarkX/wave-128"].NsPerOp != 100.0 ||
+		run.Benchmarks["BenchmarkX/wave-256"].NsPerOp != 200.0 ||
+		run.Benchmarks["BenchmarkPlain"].NsPerOp != 300.0 {
+		t.Fatalf("sub-benchmark names mangled: %v", run.Benchmarks)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("no benchmarks parsed but no error returned")
+	}
+}
+
+func TestMergePreservesOtherLabels(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	run, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := merge(path, "before", run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := json.MarshalIndent(before, "", "  ")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run2 := run
+	run2.Benchmarks = map[string]Result{"BenchmarkEventScheduling": {Iterations: 1, NsPerOp: 50}}
+	after, err := merge(path, "after", run2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Runs) != 2 {
+		t.Fatalf("runs = %v, want before+after", after.Runs)
+	}
+	if after.Runs["before"].Benchmarks["BenchmarkEventScheduling"].NsPerOp != 109.8 {
+		t.Fatalf("before run clobbered: %+v", after.Runs["before"])
+	}
+	if after.Runs["after"].Benchmarks["BenchmarkEventScheduling"].NsPerOp != 50 {
+		t.Fatalf("after run wrong: %+v", after.Runs["after"])
+	}
+}
+
+func TestMergeRejectsCorruptLedger(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := merge(path, "x", Run{Benchmarks: map[string]Result{}}); err == nil {
+		t.Fatal("corrupt ledger accepted")
+	}
+}

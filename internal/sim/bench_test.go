@@ -42,6 +42,44 @@ func BenchmarkSharedBWManyFlows(b *testing.B) {
 			}
 		})
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run()
+}
+
+func BenchmarkSharedBWUncontended(b *testing.B) {
+	// Back-to-back transfers on an otherwise idle link: each one is a pure
+	// timer, so the inline fast path should complete it with no event, no
+	// park/unpark, and no allocation.
+	s := New(1)
+	bw := NewSharedBW(s, "link", 1e12, 0)
+	n := b.N
+	s.Spawn("t", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			bw.Transfer(p, 1<<20)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run()
+}
+
+func BenchmarkSharedBWCompletionWave(b *testing.B) {
+	// 256 equal flows repeatedly arrive together and finish at the same
+	// virtual instant: the worst case for per-event credit loops and
+	// per-wakeup heap traffic. Measures cost per flow completion.
+	s := New(1)
+	bw := NewSharedBW(s, "link", 1e12, 0)
+	const flows = 256
+	n := b.N
+	for f := 0; f < flows; f++ {
+		s.Spawn("flow", func(p *Proc) {
+			for i := 0; i < n/flows+1; i++ {
+				bw.Transfer(p, 1<<20)
+			}
+		})
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	s.Run()
 }

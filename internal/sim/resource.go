@@ -96,6 +96,22 @@ func (r *Resource) InUse() int { return r.inUse }
 // channels, and it is what makes contention curves realistic: adding flows
 // stretches everyone's completion time, and completions are recomputed at
 // every arrival/departure instant.
+//
+// Fair-share accounting exploits the uniform service rate: every active flow
+// accrues the identical credit, so a flow's remaining bytes are its finish
+// tag expressed relative to the current virtual service level, and pairwise
+// order of remainders never changes between arrivals and departures
+// (floating-point subtraction of a common credit is monotone). The flows
+// therefore live in a min-heap keyed by (remaining, arrival), which keeps
+// the earliest completion at the root incrementally: scheduling the next
+// completion and draining a finished wave are O(log N) per flow instead of
+// the full rescans of the list-based kernel, turning O(N^2) arrival and
+// departure waves into O(N log N). The credit sweep itself runs at most once
+// per distinct virtual instant (same-instant waves early-return on
+// now == last) and deliberately keeps the classic one-subtraction-per-flow
+// form: study results are pinned byte-identical across kernel versions, so
+// remainders must follow the exact rounding stream of the original credit
+// loop rather than being derived from a cumulative counter.
 type SharedBW struct {
 	sim  *Sim
 	name string
@@ -105,18 +121,103 @@ type SharedBW struct {
 	// (e.g. a single QP / endpoint processing ceiling).
 	flowCap float64
 
-	// flows is kept in arrival order: simultaneous completions must wake
-	// their processes deterministically, so no map iteration here.
-	flows    []*flow
+	// flows is a min-heap by (remaining, seq). Flow records are pooled on
+	// the owning Sim's free list.
+	flows flowHeap
+	// wave is scratch for same-instant completion batches, retained to
+	// avoid per-wave allocation.
+	wave []*flow
+	// arrivals numbers flows in arrival order: simultaneous completions
+	// must wake their processes deterministically (first-arrived first).
+	arrivals uint64
 	last     time.Duration
 	gen      uint64
-	moved    float64 // total bytes completed, for accounting
+	// ev is the link's persistent completion event, rescheduled in place
+	// while queued (see Sim.schedBW).
+	ev *event
+	// moved counts bytes of completed flows plus inline fast-path
+	// transfers; it is exact (never credited past a flow's size).
+	moved    float64
 	maxFlows int
 }
 
+// flow is one in-flight transfer.
 type flow struct {
 	remaining float64
+	size      float64
+	seq       uint64
 	proc      *Proc
+}
+
+// flowHeap is a hand-rolled binary min-heap ordered by (remaining, seq):
+// earliest completion first, ties broken by arrival order. Uniform credits
+// keep relative order stable, so the heap never needs re-sifting between
+// pushes and pops.
+type flowHeap []*flow
+
+func (h flowHeap) less(i, j int) bool {
+	if h[i].remaining != h[j].remaining {
+		return h[i].remaining < h[j].remaining
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *flowHeap) push(f *flow) {
+	*h = append(*h, f)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *flowHeap) pop() *flow {
+	q := *h
+	f := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return f
+}
+
+// allocFlow takes a flow record from the free list (or allocates one).
+func (s *Sim) allocFlow() *flow {
+	if n := len(s.flowFree); n > 0 {
+		f := s.flowFree[n-1]
+		s.flowFree[n-1] = nil
+		s.flowFree = s.flowFree[:n-1]
+		return f
+	}
+	return new(flow)
+}
+
+// recycleFlow resets a completed flow and returns it to the free list.
+func (s *Sim) recycleFlow(f *flow) {
+	*f = flow{}
+	s.flowFree = append(s.flowFree, f)
 }
 
 // NewSharedBW returns a fair-shared bandwidth resource of rate bytes/s.
@@ -144,7 +245,9 @@ func (b *SharedBW) perFlow() float64 {
 	return r
 }
 
-// advance credits progress to all active flows for the time since last.
+// advance credits progress to all active flows for the time since last. The
+// sweep runs once per distinct instant; a same-instant arrival or departure
+// wave hits the now == last early return for every event after the first.
 func (b *SharedBW) advance() {
 	now := b.sim.now
 	if now == b.last {
@@ -158,62 +261,99 @@ func (b *SharedBW) advance() {
 	credit := b.perFlow() * elapsed.Seconds()
 	for _, f := range b.flows {
 		f.remaining -= credit
-		b.moved += credit
 	}
 }
 
-// reschedule supersedes any pending completion event and schedules the next.
-// Bumping the generation makes earlier scheduled completions no-ops when they
-// pop, which replaces explicit cancellation.
+// reschedule supersedes any pending completion and schedules the next, read
+// off the heap root instead of a rescan. The link's owned event is re-keyed
+// in place when still queued (no stale events to pop later); bumping the
+// generation additionally guards a completion that already popped.
 func (b *SharedBW) reschedule() {
 	b.gen++
 	if len(b.flows) == 0 {
 		return
 	}
-	minRem := math.Inf(1)
-	for _, f := range b.flows {
-		if f.remaining < minRem {
-			minRem = f.remaining
-		}
-	}
+	minRem := b.flows[0].remaining
 	rate := b.perFlow()
 	dt := time.Duration(math.Ceil(minRem / rate * 1e9)) // seconds -> ns, round up
 	if dt < 0 {
 		dt = 0
 	}
-	b.sim.schedBW(b.sim.now+dt, b, b.gen)
+	b.sim.schedBW(b.sim.now+dt, b)
 }
 
 // complete finishes every flow whose remaining bytes have drained, waking
-// them in arrival order.
+// them in arrival order. The drained set pops off the heap in (remaining,
+// seq) order; an insertion sort restores arrival order (waves of equal-size
+// simultaneous arrivals pop already sorted, making the sort a linear pass).
 func (b *SharedBW) complete() {
 	b.advance()
 	const eps = 0.5 // half a byte of float slack
-	live := b.flows[:0]
-	for _, f := range b.flows {
-		if f.remaining <= eps {
-			b.sim.unpark(f.proc)
-		} else {
-			live = append(live, f)
+	wave := b.wave[:0]
+	for len(b.flows) > 0 && b.flows[0].remaining <= eps {
+		wave = append(wave, b.flows.pop())
+	}
+	for i := 1; i < len(wave); i++ {
+		f := wave[i]
+		j := i
+		for j > 0 && wave[j-1].seq > f.seq {
+			wave[j] = wave[j-1]
+			j--
 		}
+		wave[j] = f
 	}
-	for i := len(live); i < len(b.flows); i++ {
-		b.flows[i] = nil
+	for i, f := range wave {
+		b.moved += f.size // exact: a completed flow moved what it asked for
+		b.sim.unpark(f.proc)
+		b.sim.recycleFlow(f)
+		wave[i] = nil
 	}
-	b.flows = live
+	b.wave = wave[:0]
 	b.reschedule()
 }
 
 // Transfer moves size bytes through the shared resource, blocking p until the
 // flow completes under fair sharing. Zero or negative sizes return
 // immediately.
+//
+// Fast path: a transfer joining an idle link is a pure timer — it completes
+// after size divided by the per-flow rate, and nothing can interleave if no
+// other event is due at or before that instant — so the kernel advances
+// virtual time inline exactly like the Sleep fast path: no event, no flow
+// record, no park/unpark. The completion instant is computed with the very
+// expression the slow path would use, so fast- and slow-path runs of the
+// same workload stay bit-for-bit identical.
 func (b *SharedBW) Transfer(p *Proc, size int64) {
 	if size <= 0 {
 		return
 	}
+	s := b.sim
+	if len(b.flows) == 0 && !s.noFastPath {
+		r := b.rate
+		if b.flowCap > 0 && b.flowCap < r {
+			r = b.flowCap
+		}
+		dt := time.Duration(math.Ceil(float64(size) / r * 1e9))
+		wake := s.now + dt
+		if dt >= 0 && wake >= s.now && wake <= s.limit && s.rhead == len(s.ready) &&
+			(len(s.queue) == 0 || s.queue[0].at > wake) {
+			s.now = wake
+			b.last = wake
+			b.moved += float64(size)
+			if b.maxFlows < 1 {
+				b.maxFlows = 1
+			}
+			return
+		}
+	}
 	b.advance()
-	f := &flow{remaining: float64(size), proc: p}
-	b.flows = append(b.flows, f)
+	f := s.allocFlow()
+	f.remaining = float64(size)
+	f.size = f.remaining
+	f.seq = b.arrivals
+	b.arrivals++
+	f.proc = p
+	b.flows.push(f)
 	if len(b.flows) > b.maxFlows {
 		b.maxFlows = len(b.flows)
 	}
@@ -227,8 +367,22 @@ func (b *SharedBW) Active() int { return len(b.flows) }
 // MaxFlows returns the peak number of concurrent flows observed.
 func (b *SharedBW) MaxFlows() int { return b.maxFlows }
 
-// BytesMoved returns total bytes transferred so far.
+// BytesMoved returns total bytes transferred so far: completed flows count
+// their full requested size, in-flight flows their accrued credit clamped to
+// their size, so completion overshoot (the scheduling instant rounds up to
+// whole nanoseconds) never over-credits the total.
 func (b *SharedBW) BytesMoved() float64 {
 	b.advance()
-	return b.moved
+	total := b.moved
+	for _, f := range b.flows {
+		done := f.size - f.remaining
+		if done < 0 {
+			done = 0
+		}
+		if done > f.size {
+			done = f.size
+		}
+		total += done
+	}
+	return total
 }

@@ -2,10 +2,12 @@
 //
 // The kernel drives every timed component in this repository: storage media,
 // network fabric, DAOS engines, and the benchmark clients. Simulated
-// "processes" are ordinary goroutines that cooperate with a single scheduler
-// goroutine through strict channel handoff, so exactly one goroutine runs at
-// any instant and event ordering is fully deterministic: events fire in
-// (time, insertion-sequence) order.
+// "processes" are ordinary goroutines that pass a single control token
+// between themselves through strict channel handoff, so exactly one
+// goroutine runs at any instant and event ordering is fully deterministic:
+// events fire in (time, insertion-sequence) order. There is no dedicated
+// scheduler goroutine — whichever goroutine holds the token drives the
+// dispatch loop (see schedule) and wakes the next process directly.
 //
 // The design follows the classic process-interaction style (SimPy, CSIM):
 // a process calls Sleep, acquires Resources, transfers bytes over SharedBW
@@ -13,18 +15,31 @@
 // those interactions. Virtual time is a time.Duration measured from the start
 // of the run.
 //
-// Two fast paths keep the hot loop cheap without changing observable order:
+// Three mechanisms keep the hot loop cheap without changing observable order:
 //
 //   - Timer-only interactions avoid goroutine parking entirely. When a
 //     process Sleeps and no other event is due at or before its wake time,
 //     the kernel advances virtual time inline on the calling goroutine
 //     instead of scheduling a wake event and handing control back to the
-//     scheduler (two channel handoffs each way).
+//     scheduler (two channel handoffs each way). A Transfer that joins an
+//     idle SharedBW link gets the same treatment: a sole flow is a pure
+//     timer (size over the per-flow rate), so the kernel advances time
+//     inline with no event, no flow record, and no park/unpark.
 //
 //   - Events are plain pooled structs, not closures. Process wake-ups and
 //     SharedBW completions carry a target pointer instead of an allocated
-//     func, popped events are recycled through a free list, and the event
-//     heap is hand-rolled so pushes do not allocate.
+//     func, popped events are recycled through a free list (SharedBW flow
+//     records are pooled the same way), and the event heap is hand-rolled
+//     so pushes do not allocate.
+//
+//   - Same-instant wake-ups bypass the event heap. Unparking a process
+//     always resumes it at the current instant, so unpark appends to a
+//     FIFO ready-run queue instead of allocating a heap event; the
+//     dispatch loop merges the ready queue with the heap by (time, seq),
+//     which drains a wave of N simultaneous completions with N O(1) pops
+//     instead of N heap push/pop round trips. Entries carry the sequence
+//     number they would have been stamped with, so firing order is exactly
+//     that of the heap-event formulation.
 package sim
 
 import (
@@ -49,28 +64,34 @@ const maxTime = time.Duration(1<<63 - 1)
 
 // Sim is a discrete-event scheduler. The zero value is not usable; call New.
 type Sim struct {
-	now    time.Duration
-	seq    uint64
-	queue  eventHeap
-	free   []*event      // recycled events; popped entries return here
-	yield  chan struct{} // process -> scheduler handoff
-	nproc  int           // live (spawned, not yet finished) processes
-	parked int           // processes blocked on a resource/queue (no pending event)
-	rng    *RNG
+	now      time.Duration
+	seq      uint64
+	queue    eventHeap
+	free     []*event      // recycled events; popped entries return here
+	flowFree []*flow       // recycled SharedBW flow records
+	ready    []readyProc   // procs unparked at the current instant, FIFO
+	rhead    int           // index of the first undrained ready entry
+	done     chan struct{} // control token return to the Run/RunUntil caller
+	nproc    int           // live (spawned, not yet finished) processes
+	parked   int           // processes blocked on a resource/queue (no pending event)
+	rng      *RNG
 
 	// limit is the horizon of the innermost Run/RunUntil drive; the Sleep
 	// fast path must not advance time past it.
 	limit time.Duration
-	// noFastPath disables the inline Sleep fast path (test hook: the
-	// regression tests compare fast and slow traces for identical order).
+	// noFastPath disables the inline fast paths — Sleep and uncontended
+	// SharedBW.Transfer — (test hook: the regression tests compare fast
+	// and slow traces for identical order).
 	noFastPath bool
 }
 
 // New returns a simulator whose random source is seeded with seed.
 func New(seed uint64) *Sim {
 	return &Sim{
-		yield: make(chan struct{}),
-		rng:   NewRNG(seed),
+		// Buffered so the dispatch chain can return the control token even
+		// while it is itself the goroutine driving Run (empty simulation).
+		done: make(chan struct{}, 1),
+		rng:  NewRNG(seed),
 	}
 }
 
@@ -81,25 +102,30 @@ func (s *Sim) Now() time.Duration { return s.now }
 func (s *Sim) RNG() *RNG { return s.rng }
 
 // event is a scheduled occurrence. Events with equal times fire in insertion
-// order, which keeps runs reproducible. Exactly one of fire, proc, or bw is
-// set: fire is a generic callback, proc wakes a parked process, and bw checks
-// a SharedBW completion (gen guards against stale, superseded completions).
-// Events are pooled: once popped they are reset and recycled, so no component
-// may retain a popped event.
+// order, which keeps runs reproducible. Exactly one of fire, proc, spawn, or
+// bw is set: fire is a generic callback, proc wakes a parked process, spawn
+// starts a new process, and bw checks a SharedBW completion (gen guards
+// against stale, superseded completions). Events are pooled: once popped
+// they are reset and recycled, so no component may retain a popped event.
 type event struct {
-	at   time.Duration
-	seq  uint64
-	fire func()
-	proc *Proc
-	bw   *SharedBW
-	gen  uint64
+	at    time.Duration
+	seq   uint64
+	fire  func()
+	proc  *Proc
+	spawn *Proc
+	bw    *SharedBW
+	gen   uint64
+	// idx is the event's position in the heap (-1 when unqueued); it lets
+	// SharedBW reschedule its owned completion event in place.
+	idx int
 }
 
 // eventHeap is a hand-rolled binary min-heap ordered by (at, seq). It avoids
-// container/heap's interface{} indirection on the hottest kernel path.
+// container/heap's interface{} indirection on the hottest kernel path and
+// tracks each event's position so queued events can be re-keyed in place.
 type eventHeap []*event
 
-// Len returns the number of queued events (including stale ones).
+// Len returns the number of queued events.
 func (h eventHeap) Len() int { return len(h) }
 
 func (h eventHeap) less(i, j int) bool {
@@ -109,18 +135,50 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
-func (h *eventHeap) push(e *event) {
-	*h = append(*h, e)
-	q := *h
-	i := len(q) - 1
+func (h eventHeap) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		if !h.less(i, parent) {
 			break
 		}
-		q[i], q[parent] = q[parent], q[i]
+		h[i], h[parent] = h[parent], h[i]
+		h[i].idx = i
+		h[parent].idx = parent
 		i = parent
 	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		h[i].idx = i
+		h[small].idx = small
+		i = small
+	}
+}
+
+func (h *eventHeap) push(e *event) {
+	e.idx = len(*h)
+	*h = append(*h, e)
+	h.siftUp(e.idx)
+}
+
+// fix restores heap order after the event at position i was re-keyed.
+func (h eventHeap) fix(i int) {
+	h.siftDown(i)
+	h.siftUp(i)
 }
 
 func (h *eventHeap) pop() *event {
@@ -128,25 +186,12 @@ func (h *eventHeap) pop() *event {
 	e := q[0]
 	n := len(q) - 1
 	q[0] = q[n]
+	q[0].idx = 0
 	q[n] = nil
 	q = q[:n]
 	*h = q
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && q.less(l, small) {
-			small = l
-		}
-		if r < n && q.less(r, small) {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		q[i], q[small] = q[small], q[i]
-		i = small
-	}
+	q.siftDown(0)
+	e.idx = -1 // after the swap: popping the last element must leave -1
 	return e
 }
 
@@ -174,6 +219,7 @@ func (s *Sim) alloc(t time.Duration) *event {
 func (s *Sim) recycle(e *event) {
 	e.fire = nil
 	e.proc = nil
+	e.spawn = nil
 	e.bw = nil
 	e.gen = 0
 	s.free = append(s.free, e)
@@ -191,45 +237,141 @@ func (s *Sim) At(t time.Duration, fn func()) {
 func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
 
 // schedProc schedules a wake-up for p at absolute time t without allocating a
-// closure: the scheduler resumes p directly when the event pops.
+// closure: the dispatch loop resumes p directly when the event pops.
 func (s *Sim) schedProc(t time.Duration, p *Proc) {
 	e := s.alloc(t)
 	e.proc = p
 	s.queue.push(e)
 }
 
-// schedBW schedules a completion check for b at absolute time t. The check
-// fires only if b's generation still equals gen; superseded completions are
-// dropped when popped, replacing explicit cancellation.
-func (s *Sim) schedBW(t time.Duration, b *SharedBW, gen uint64) {
-	e := s.alloc(t)
-	e.bw = b
-	e.gen = gen
-	s.queue.push(e)
+// schedBW (re)schedules b's completion check for absolute time t. Each
+// SharedBW owns one persistent event: rescheduling while it is still queued
+// updates it in place and re-sifts (an arrival wave that supersedes the
+// completion N times costs N sifts, not N pushes plus N stale pops later),
+// and the event is pushed afresh only after it has popped. The event always
+// carries a freshly consumed sequence number, exactly as if a new event had
+// been allocated, so heap order is identical to the push-and-supersede
+// formulation. Owned events never enter the recycling pool.
+func (s *Sim) schedBW(t time.Duration, b *SharedBW) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := b.ev
+	if e == nil {
+		e = &event{bw: b, idx: -1}
+		b.ev = e
+	}
+	e.at = t
+	e.seq = s.seq
+	s.seq++
+	e.gen = b.gen
+	if e.idx >= 0 {
+		s.queue.fix(e.idx)
+	} else {
+		s.queue.push(e)
+	}
 }
 
-// dispatch fires a popped event and recycles it.
-func (s *Sim) dispatch(e *event) {
-	switch {
-	case e.proc != nil:
-		p := e.proc
-		s.recycle(e)
-		s.resume(p)
-		return
-	case e.bw != nil:
-		b, gen := e.bw, e.gen
-		s.recycle(e)
-		if gen == b.gen {
-			b.complete()
+// readyProc is a pending same-instant resumption. seq is the insertion
+// sequence the wake-up would have carried as a heap event, so the dispatch
+// loop can merge the ready queue with the heap in exact (time, seq) order.
+type readyProc struct {
+	seq  uint64
+	proc *Proc
+}
+
+// readyLen returns the number of undrained ready entries.
+func (s *Sim) readyLen() int { return len(s.ready) - s.rhead }
+
+// popReady removes the front ready entry. The backing slice is reclaimed
+// wholesale once drained, so a completion wave costs one append and one
+// index bump per wake-up.
+func (s *Sim) popReady() {
+	s.ready[s.rhead].proc = nil
+	s.rhead++
+	if s.rhead == len(s.ready) {
+		s.ready = s.ready[:0]
+		s.rhead = 0
+	}
+}
+
+// readyFirst reports whether the front ready entry precedes the heap root
+// in (time, seq) order. Ready entries are always stamped at the current
+// instant, and the heap can never hold an event in the past, so the heap
+// wins only with an event at now bearing a smaller sequence. Must not be
+// called with an empty ready queue.
+func (s *Sim) readyFirst() bool {
+	return len(s.queue) == 0 || s.queue[0].at > s.now || s.queue[0].seq > s.ready[s.rhead].seq
+}
+
+// schedule runs the dispatch loop on the calling goroutine until control
+// must pass elsewhere. The kernel has no dedicated scheduler goroutine:
+// whichever goroutine holds the control token (the Run/RunUntil caller at
+// first, then each parking or finishing process in turn) drives dispatch
+// itself, and a process wake-up is a direct goroutine-to-goroutine handoff
+// (one channel send) instead of a round trip through a scheduler. self is
+// the process whose goroutine is driving, or nil for the Run caller; when
+// the next event is self's own wake-up, schedule simply returns true and no
+// channel operation happens at all. Exactly one goroutine runs kernel code
+// at any instant, and event order is identical to a centralized loop: the
+// handoff only changes which stack executes the same (time, seq) sequence.
+//
+// schedule returns true if control stays with the caller (self resumed). It
+// returns false after handing the token to another process or, when the
+// drive ends (queue drained, or the next event lies past s.limit), after
+// returning the token to the Run/RunUntil caller through s.done.
+func (s *Sim) schedule(self *Proc) bool {
+	for {
+		if s.rhead < len(s.ready) {
+			if s.readyFirst() {
+				p := s.ready[s.rhead].proc
+				s.popReady()
+				if p == self {
+					return true
+				}
+				p.wake <- struct{}{}
+				return false
+			}
+		} else if len(s.queue) == 0 {
+			s.done <- struct{}{}
+			return false
 		}
-		return
-	case e.fire != nil:
-		fn := e.fire
-		s.recycle(e)
-		fn()
-		return
-	default:
-		s.recycle(e) // cancelled/stale
+		if s.queue[0].at > s.limit {
+			if s.now < s.limit {
+				s.now = s.limit
+			}
+			s.done <- struct{}{}
+			return false
+		}
+		e := s.queue.pop()
+		s.now = e.at
+		switch {
+		case e.proc != nil:
+			p := e.proc
+			s.recycle(e)
+			if p == self {
+				return true
+			}
+			p.wake <- struct{}{}
+			return false
+		case e.bw != nil:
+			// Owned by the SharedBW (see schedBW); never recycled.
+			if e.gen == e.bw.gen {
+				e.bw.complete()
+			}
+		case e.spawn != nil:
+			p := e.spawn
+			s.recycle(e)
+			go p.run()
+			p.wake <- struct{}{}
+			return false
+		case e.fire != nil:
+			fn := e.fire
+			s.recycle(e)
+			fn()
+		default:
+			s.recycle(e) // cancelled/stale
+		}
 	}
 }
 
@@ -239,11 +381,8 @@ func (s *Sim) dispatch(e *event) {
 // continuing would silently leak goroutines.
 func (s *Sim) Run() time.Duration {
 	s.limit = maxTime
-	for s.queue.Len() > 0 {
-		e := s.queue.pop()
-		s.now = e.at
-		s.dispatch(e)
-	}
+	s.schedule(nil)
+	<-s.done
 	if s.parked > 0 {
 		panic(fmt.Sprintf("sim: deadlock: %d process(es) parked with no pending events at %v", s.parked, s.now))
 	}
@@ -255,18 +394,9 @@ func (s *Sim) Run() time.Duration {
 // returns. It reports whether the event queue drained.
 func (s *Sim) RunUntil(limit time.Duration) bool {
 	s.limit = limit
-	for s.queue.Len() > 0 {
-		if s.queue[0].at > limit {
-			if s.now < limit {
-				s.now = limit
-			}
-			return false
-		}
-		e := s.queue.pop()
-		s.now = e.at
-		s.dispatch(e)
-	}
-	return true
+	s.schedule(nil)
+	<-s.done
+	return len(s.queue) == 0
 }
 
 // Proc is a handle held by a simulated process. All blocking operations
@@ -276,6 +406,7 @@ type Proc struct {
 	sim  *Sim
 	name string
 	wake chan struct{}
+	body func(p *Proc)
 }
 
 // Name returns the process name given at Spawn.
@@ -289,37 +420,39 @@ func (p *Proc) Now() time.Duration { return p.sim.now }
 
 // Spawn creates a process that begins running body at the current virtual
 // time. body executes on its own goroutine but in strict alternation with
-// the scheduler, so no locking is required inside the simulation.
+// every other process, so no locking is required inside the simulation.
 func (s *Sim) Spawn(name string, body func(p *Proc)) {
 	s.SpawnAt(s.now, name, body)
 }
 
 // SpawnAt creates a process that begins running body at virtual time t.
 func (s *Sim) SpawnAt(t time.Duration, name string, body func(p *Proc)) {
-	p := &Proc{sim: s, name: name, wake: make(chan struct{})}
+	p := &Proc{sim: s, name: name, wake: make(chan struct{}), body: body}
 	s.nproc++
-	s.At(t, func() {
-		go func() {
-			<-p.wake
-			body(p)
-			s.nproc--
-			s.yield <- struct{}{}
-		}()
-		s.resume(p)
-	})
+	e := s.alloc(t)
+	e.spawn = p
+	s.queue.push(e)
 }
 
-// resume hands control to p and waits for it to yield back. Called only from
-// the scheduler goroutine (inside an event's dispatch).
-func (s *Sim) resume(p *Proc) {
-	p.wake <- struct{}{}
-	<-s.yield
+// run is a process goroutine's lifetime: wait for the spawn handoff, execute
+// the body, then continue driving the dispatch loop with the token the body
+// was left holding.
+func (p *Proc) run() {
+	<-p.wake
+	p.body(p)
+	p.body = nil
+	p.sim.nproc--
+	p.sim.schedule(nil)
 }
 
 // yieldWait parks the calling process until another event resumes it. The
-// caller must have arranged for a wakeup before calling.
+// caller must have arranged for a wakeup before calling. The parking
+// goroutine drives the dispatch loop itself until the token moves on; if the
+// very next event is its own wake-up, it returns without blocking.
 func (p *Proc) yieldWait() {
-	p.sim.yield <- struct{}{}
+	if p.sim.schedule(p) {
+		return
+	}
 	<-p.wake
 }
 
@@ -332,9 +465,13 @@ func (p *Proc) park() {
 	p.sim.parked--
 }
 
-// unpark schedules p to resume at the current virtual time.
+// unpark schedules p to resume at the current virtual time. It enqueues on
+// the ready-run queue rather than the event heap: the resumption is stamped
+// with the sequence number a heap event would have carried, so the dispatch
+// loop fires it in the identical (time, seq) slot at O(1) cost.
 func (s *Sim) unpark(p *Proc) {
-	s.schedProc(s.now, p)
+	s.ready = append(s.ready, readyProc{seq: s.seq, proc: p})
+	s.seq++
 }
 
 // ParkIdle blocks the process until Unpark, without counting toward deadlock
@@ -364,8 +501,9 @@ func (p *Proc) Sleep(d time.Duration) {
 	}
 	wake := s.now + d
 	// wake >= s.now rejects additive overflow; the slow path's alloc then
-	// panics on it loudly instead of moving the clock backward.
-	if !s.noFastPath && wake >= s.now && wake <= s.limit && (len(s.queue) == 0 || s.queue[0].at > wake) {
+	// panics on it loudly instead of moving the clock backward. A pending
+	// ready entry is an event due now, so it also forces the slow path.
+	if !s.noFastPath && wake >= s.now && wake <= s.limit && s.rhead == len(s.ready) && (len(s.queue) == 0 || s.queue[0].at > wake) {
 		s.now = wake
 		return
 	}

@@ -256,7 +256,9 @@ func TestSharedBWPerFlowCap(t *testing.T) {
 }
 
 func TestSharedBWConservation(t *testing.T) {
-	// Total bytes moved equals total bytes requested, regardless of overlap.
+	// Total bytes moved equals total bytes requested exactly, regardless of
+	// overlap: completed flows are booked at their requested size, never at
+	// the overshooting credit of the nanosecond-rounded completion instant.
 	s := New(42)
 	bw := NewSharedBW(s, "link", 3e9, 0)
 	var total int64
@@ -271,9 +273,8 @@ func TestSharedBWConservation(t *testing.T) {
 		})
 	}
 	s.Run()
-	moved := bw.BytesMoved()
-	if moved < float64(total)*0.999 || moved > float64(total)*1.001 {
-		t.Fatalf("moved %v bytes, want %v", moved, total)
+	if moved := bw.BytesMoved(); moved != float64(total) {
+		t.Fatalf("moved %v bytes, want exactly %v", moved, total)
 	}
 	if bw.Active() != 0 {
 		t.Fatalf("flows still active: %d", bw.Active())
