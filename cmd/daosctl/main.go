@@ -10,7 +10,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"daosim/internal/cluster"
 	"daosim/internal/daos"
@@ -23,111 +25,129 @@ import (
 func main() {
 	failures := flag.Bool("failures", false, "include the engine failure scenario")
 	flag.Parse()
+	if err := run(os.Stdout, *failures); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run boots the testbed and executes the scripted session, writing the
+// walkthrough to out. Split from main so the session is testable: the smoke
+// test drives it against a buffer and asserts the step markers.
+func run(out io.Writer, failures bool) (err error) {
 	tb := cluster.New(cluster.NEXTGenIO())
 	defer tb.Shutdown()
 	client := tb.NewClient(tb.ClientNode(0), 1)
 
 	tb.Run(func(p *sim.Proc) {
-		step := stepper{}
-
-		step.do("dmg pool create --label tank (16 engines, 24 TiB SCM)")
-		pool, err := client.CreatePool(p, "tank")
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("      UUID %s, %d engines\n", pool.Info.UUID, len(pool.Info.Targets))
-
-		step.do("daos container create tank/home --type POSIX --oclass S2")
-		ct, err := pool.CreateContainer(p, "home", daos.ContProps{Class: placement.S2})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("      UUID %s\n", ct.UUID)
-
-		step.do("daos pool set-attr tank owner epcc")
-		admin := svc.NewClient(tb.Service, tb.ClientNode(0))
-		if _, err := admin.Execute(p, svc.Command{Op: svc.OpSetAttr, Pool: "tank", Key: "owner", Value: "epcc"}); err != nil {
-			log.Fatal(err)
-		}
-
-		step.do("mount DFS and populate a namespace")
-		fsys, err := dfs.Mount(p, ct)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for _, dir := range []string{"/projects/climate", "/projects/astro", "/scratch"} {
-			if err := fsys.MkdirAll(p, dir); err != nil {
-				log.Fatal(err)
-			}
-		}
-		f, err := fsys.Create(p, "/projects/climate/era5.grib", dfs.CreateOpts{Class: placement.SX})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := f.WriteAt(p, 0, make([]byte, 8<<20)); err != nil {
-			log.Fatal(err)
-		}
-
-		step.do("ls -l /projects")
-		infos, err := fsys.ReadDir(p, "/projects")
-		if err != nil {
-			log.Fatal(err)
-		}
-		for _, info := range infos {
-			kind := "d"
-			if info.Type == dfs.TypeFile {
-				kind = "-"
-			}
-			fmt.Printf("      %s %-12s\n", kind, info.Name)
-		}
-
-		step.do("stat /projects/climate/era5.grib")
-		info, err := fsys.Stat(p, "/projects/climate/era5.grib")
-		if err != nil {
-			log.Fatal(err)
-		}
-		cls, _ := placement.LookupClass(info.Class)
-		fmt.Printf("      size %d bytes, class %s, chunk %d KiB\n", info.Size, cls.Name, info.Chunk>>10)
-
-		if *failures {
-			step.do("failure injection: exclude engine 3")
-			tb.ExcludeEngine(3)
-			fmt.Printf("      pool map version now %d, %d targets up\n",
-				tb.PoolMap().Version, len(tb.PoolMap().UpTargets()))
-
-			step.do("write through the degraded map (layouts recompute)")
-			g, err := fsys.Create(p, "/scratch/degraded.dat", dfs.CreateOpts{Class: placement.S2})
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := g.WriteAt(p, 0, make([]byte, 1<<20)); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Println("      write landed on live targets only")
-
-			step.do("reintegrate engine 3")
-			tb.ReintegrateEngine(3)
-			fmt.Printf("      pool map version now %d, %d targets up\n",
-				tb.PoolMap().Version, len(tb.PoolMap().UpTargets()))
-		}
-
-		step.do("daos container list tank")
-		res, err := admin.Execute(p, svc.Command{Op: svc.OpListConts, Pool: "tank"})
-		if err != nil {
-			log.Fatal(err)
-		}
-		for _, name := range res.List {
-			fmt.Printf("      %s\n", name)
-		}
-
-		fmt.Printf("\nsession complete at virtual time %v\n", p.Now())
+		err = session(p, out, tb, client, failures)
 	})
+	return err
 }
 
-type stepper struct{ n int }
+// session is the scripted walkthrough, executed inside the simulation.
+func session(p *sim.Proc, out io.Writer, tb *cluster.Testbed, client *daos.Client, failures bool) error {
+	step := stepper{out: out}
+
+	step.do("dmg pool create --label tank (16 engines, 24 TiB SCM)")
+	pool, err := client.CreatePool(p, "tank")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "      UUID %s, %d engines\n", pool.Info.UUID, len(pool.Info.Targets))
+
+	step.do("daos container create tank/home --type POSIX --oclass S2")
+	ct, err := pool.CreateContainer(p, "home", daos.ContProps{Class: placement.S2})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "      UUID %s\n", ct.UUID)
+
+	step.do("daos pool set-attr tank owner epcc")
+	admin := svc.NewClient(tb.Service, tb.ClientNode(0))
+	if _, err := admin.Execute(p, svc.Command{Op: svc.OpSetAttr, Pool: "tank", Key: "owner", Value: "epcc"}); err != nil {
+		return err
+	}
+
+	step.do("mount DFS and populate a namespace")
+	fsys, err := dfs.Mount(p, ct)
+	if err != nil {
+		return err
+	}
+	for _, dir := range []string{"/projects/climate", "/projects/astro", "/scratch"} {
+		if err := fsys.MkdirAll(p, dir); err != nil {
+			return err
+		}
+	}
+	f, err := fsys.Create(p, "/projects/climate/era5.grib", dfs.CreateOpts{Class: placement.SX})
+	if err != nil {
+		return err
+	}
+	if err := f.WriteAt(p, 0, make([]byte, 8<<20)); err != nil {
+		return err
+	}
+
+	step.do("ls -l /projects")
+	infos, err := fsys.ReadDir(p, "/projects")
+	if err != nil {
+		return err
+	}
+	for _, info := range infos {
+		kind := "d"
+		if info.Type == dfs.TypeFile {
+			kind = "-"
+		}
+		fmt.Fprintf(out, "      %s %-12s\n", kind, info.Name)
+	}
+
+	step.do("stat /projects/climate/era5.grib")
+	info, err := fsys.Stat(p, "/projects/climate/era5.grib")
+	if err != nil {
+		return err
+	}
+	cls, _ := placement.LookupClass(info.Class)
+	fmt.Fprintf(out, "      size %d bytes, class %s, chunk %d KiB\n", info.Size, cls.Name, info.Chunk>>10)
+
+	if failures {
+		step.do("failure injection: exclude engine 3")
+		tb.ExcludeEngine(3)
+		fmt.Fprintf(out, "      pool map version now %d, %d targets up\n",
+			tb.PoolMap().Version, len(tb.PoolMap().UpTargets()))
+
+		step.do("write through the degraded map (layouts recompute)")
+		g, err := fsys.Create(p, "/scratch/degraded.dat", dfs.CreateOpts{Class: placement.S2})
+		if err != nil {
+			return err
+		}
+		if err := g.WriteAt(p, 0, make([]byte, 1<<20)); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "      write landed on live targets only")
+
+		step.do("reintegrate engine 3")
+		tb.ReintegrateEngine(3)
+		fmt.Fprintf(out, "      pool map version now %d, %d targets up\n",
+			tb.PoolMap().Version, len(tb.PoolMap().UpTargets()))
+	}
+
+	step.do("daos container list tank")
+	res, err := admin.Execute(p, svc.Command{Op: svc.OpListConts, Pool: "tank"})
+	if err != nil {
+		return err
+	}
+	for _, name := range res.List {
+		fmt.Fprintf(out, "      %s\n", name)
+	}
+
+	fmt.Fprintf(out, "\nsession complete at virtual time %v\n", p.Now())
+	return nil
+}
+
+type stepper struct {
+	out io.Writer
+	n   int
+}
 
 func (s *stepper) do(what string) {
 	s.n++
-	fmt.Printf("\n[%02d] %s\n", s.n, what)
+	fmt.Fprintf(s.out, "\n[%02d] %s\n", s.n, what)
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The smoke tests pin the scripted walkthrough end to end: every step of
+// the default session (and the failure-injection scenario) must execute
+// without error and print its marker, so a regression anywhere along the
+// svc/raft/placement/DFS path this session exercises cannot rot silently.
+
+// steps extracts the "[NN] title" step markers in print order.
+func steps(out string) []string {
+	var got []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "[") {
+			got = append(got, line)
+		}
+	}
+	return got
+}
+
+func TestDefaultSession(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, false); err != nil {
+		t.Fatalf("default session failed: %v\noutput so far:\n%s", err, buf.String())
+	}
+	out := buf.String()
+
+	wantSteps := []string{
+		"dmg pool create",
+		"daos container create",
+		"daos pool set-attr",
+		"mount DFS",
+		"ls -l /projects",
+		"stat /projects/climate/era5.grib",
+		"daos container list tank",
+	}
+	got := steps(out)
+	if len(got) != len(wantSteps) {
+		t.Fatalf("step count = %d, want %d:\n%s", len(got), len(wantSteps), out)
+	}
+	for i, want := range wantSteps {
+		if !strings.Contains(got[i], want) {
+			t.Errorf("step %d = %q, want it to mention %q", i+1, got[i], want)
+		}
+	}
+	for _, marker := range []string{
+		"UUID",                             // pool and container creation reported
+		"class SX",                         // the era5.grib stat reports its class
+		"session complete at virtual time", // the session ran to completion
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q:\n%s", marker, out)
+		}
+	}
+	for _, entry := range []string{"climate", "astro"} {
+		if !strings.Contains(out, entry) {
+			t.Errorf("ls output missing %q:\n%s", entry, out)
+		}
+	}
+	if strings.Contains(out, "exclude engine") {
+		t.Error("default session ran the failure scenario")
+	}
+}
+
+func TestFailureSession(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, true); err != nil {
+		t.Fatalf("failure session failed: %v\noutput so far:\n%s", err, buf.String())
+	}
+	out := buf.String()
+
+	for _, marker := range []string{
+		"failure injection: exclude engine 3",
+		"write through the degraded map",
+		"write landed on live targets only",
+		"reintegrate engine 3",
+		"session complete at virtual time",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q:\n%s", marker, out)
+		}
+	}
+	// The pool map version must be reported twice (exclusion, then
+	// reintegration), and the session must still list containers after.
+	if strings.Count(out, "pool map version now") != 2 {
+		t.Errorf("pool map version not reported for both transitions:\n%s", out)
+	}
+	if got := steps(out); len(got) != 10 {
+		t.Errorf("failure session step count = %d, want 10:\n%s", len(got), out)
+	}
+}

@@ -1,0 +1,97 @@
+// Command daosd serves the sharded multi-study scheduler (internal/studysvc):
+// a long-lived HTTP service that accepts study batch submissions, shards
+// their (variant, node-count) points across a bounded local worker pool,
+// consults the content-addressed point cache before simulating, and streams
+// completed points back to each client as NDJSON. Results through the
+// service are byte-identical to in-process core.Runner sweeps.
+//
+//	daosd                      # listen on 127.0.0.1:9464, GOMAXPROCS workers
+//	daosd -addr :9464          # listen on all interfaces
+//	daosd -parallel 8          # shard width: at most 8 concurrent points
+//	daosd -cache               # memoize points under ~/.daosim/cache
+//	daosd -cache-dir .c        # memoize points under ./.c (implies -cache)
+//
+// Submit with cmd/studyctl, or point `figures -server addr` at it. On
+// SIGINT/SIGTERM the server drains in-flight points and reports its cache
+// ledger before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"daosim/internal/cache"
+	"daosim/internal/studysvc"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9464", "listen address (host:port)")
+		parallel = flag.Int("parallel", 0, "worker pool width: max concurrent sweep points (0 = all cores)")
+		cacheOn  = flag.Bool("cache", false, "memoize sweep points (disk tier under ~/.daosim/cache unless -cache-dir overrides)")
+		cacheDir = flag.String("cache-dir", "", "on-disk cache tier directory (implies -cache; explicitly empty = memory-only)")
+	)
+	flag.Parse()
+
+	pointCache, err := cache.Open(*cacheOn, cache.FlagPassed("cache-dir"), *cacheDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := studysvc.New(studysvc.Config{Workers: *parallel, Cache: pointCache})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cacheState := "off"
+	if pointCache != nil {
+		cacheState = "on"
+	}
+	// The listening line is the readiness marker scripts and CI wait for.
+	fmt.Printf("daosd: listening on http://%s (workers=%d, cache=%s, GOMAXPROCS=%d)\n",
+		ln.Addr(), srv.Workers(), cacheState, runtime.GOMAXPROCS(0))
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	closing := make(chan struct{})
+	// Result streams are long-lived, so no overall read/write deadline —
+	// but slow-header and idle connections must not pin file descriptors
+	// on a service that may face the open network.
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() {
+		err := httpSrv.Serve(ln)
+		select {
+		case <-closing: // shutdown in progress; Serve's error is the closed listener
+		default:
+			log.Fatal(err)
+		}
+	}()
+
+	sig := <-done
+	fmt.Printf("daosd: %v, draining\n", sig)
+	close(closing)
+	// Graceful first: stop accepting, let in-flight result streams finish
+	// within the grace period, then sever whatever remains.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		httpSrv.Close()
+	}
+	cancel()
+	srv.Close()
+	if pointCache != nil {
+		fmt.Println(pointCache.Stats())
+	}
+}

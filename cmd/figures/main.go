@@ -11,6 +11,11 @@
 // warm rerun replays byte-identical figures without simulating, reporting
 // its hit rate on exit.
 //
+// With -server, the study grids execute on a daosd study server
+// (internal/studysvc) instead of in-process: points stream back as they
+// complete, output stays byte-identical, and caching (including the hit
+// ledger printed on exit) is the server's.
+//
 //	figures                 # both figures, full node sweep, claim checks
 //	figures -quick          # reduced sweep (CI-sized)
 //	figures -fig 1          # only Figure 1
@@ -19,6 +24,7 @@
 //	figures -csv out.csv    # dump the raw series
 //	figures -cache          # memoize points under ~/.daosim/cache
 //	figures -cache-dir .c   # memoize points under ./.c
+//	figures -server :9464   # run the sweeps through a daosd server
 package main
 
 import (
@@ -29,7 +35,7 @@ import (
 
 	"daosim/internal/bench"
 	"daosim/internal/cache"
-	"daosim/internal/core"
+	"daosim/internal/studysvc"
 )
 
 func main() {
@@ -42,6 +48,7 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "study seed (0 = testbed default)")
 		cacheOn   = flag.Bool("cache", false, "memoize sweep points (disk tier under ~/.daosim/cache unless -cache-dir overrides)")
 		cacheDir  = flag.String("cache-dir", "", "on-disk cache tier directory (implies -cache; explicitly empty = memory-only)")
+		server    = flag.String("server", "", "run study sweeps through the daosd server at this address (host:port) instead of in-process")
 	)
 	flag.Parse()
 	opts := bench.Options{Parallelism: *parallel, Seed: *seed}
@@ -51,54 +58,49 @@ func main() {
 		opts.Scale = bench.Full
 	}
 
-	pointCache, err := cache.Open(*cacheOn, cache.FlagPassed("cache-dir"), *cacheDir)
+	var pointCache *cache.Cache
+	var client *studysvc.Client
+	if *server != "" {
+		// Sweeps execute on the server, where -parallel sized its pool and
+		// its own -cache flags govern memoization; a local cache would
+		// never be consulted, so passing both is a contradiction worth
+		// refusing rather than silently ignoring.
+		if *cacheOn || cache.FlagPassed("cache-dir") {
+			log.Fatal("figures: -cache/-cache-dir configure the in-process runner; with -server, caching is configured on daosd")
+		}
+		if *parallel != 0 {
+			// Not fatal: -ablations still runs its native-array points on
+			// the local pool, where the flag does apply.
+			fmt.Fprintln(os.Stderr, "figures: note: with -server, grid sweeps use daosd's -parallel pool; the local -parallel only bounds in-process work (native-array ablation points)")
+		}
+		client = studysvc.NewClient(*server)
+		opts.Runner = client
+	} else {
+		var err error
+		pointCache, err = cache.Open(*cacheOn, cache.FlagPassed("cache-dir"), *cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Cache = pointCache
+	}
+
+	csv, err := bench.RunFigures(opts, *fig, os.Stdout)
 	if err != nil {
 		log.Fatal(err)
-	}
-	opts.Cache = pointCache
-
-	var csv string
-	var easy, hard *core.Study
-
-	if *fig == 0 || *fig == 1 {
-		easy, err = bench.Figure1(opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println(bench.Render("Figure 1: IOR file-per-process (easy)", easy))
-		fmt.Printf("(swept in %v wall-clock)\n\n", easy.Elapsed)
-		fmt.Println("Paper claims, checked:")
-		fmt.Println(bench.RenderClaims(easy.CheckEasyClaims()))
-		csv += easy.CSV()
-	}
-	if *fig == 0 || *fig == 2 {
-		hard, err = bench.Figure2(opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println(bench.Render("Figure 2: IOR shared-file (hard)", hard))
-		fmt.Printf("(swept in %v wall-clock)\n\n", hard.Elapsed)
-		fmt.Println("Paper claims, checked:")
-		fmt.Println(bench.RenderClaims(hard.CheckHardClaims()))
-		csv += hard.CSV()
-	}
-	if easy != nil && hard != nil {
-		fmt.Println("Cross-figure claim:")
-		fmt.Println(bench.RenderClaims(core.CheckCrossClaims(easy, hard)))
 	}
 
 	if *ablations {
 		runAblations(opts)
 	}
 
-	if *csvPath != "" {
-		if err := os.WriteFile(*csvPath, []byte(csv), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("raw series written to %s\n", *csvPath)
+	if err := bench.WriteCSV(*csvPath, csv, os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 	if pointCache != nil {
 		fmt.Println(pointCache.Stats())
+	}
+	if client != nil {
+		fmt.Println(client.Ledger())
 	}
 }
 

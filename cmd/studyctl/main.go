@@ -1,0 +1,108 @@
+// Command studyctl is the client for a daosd study server. Its submit
+// subcommand routes the paper's figure sweeps through the server — the
+// same grids cmd/figures runs in-process — streaming per-point progress as
+// results land and rendering the identical tables, claim checks, and CSV.
+//
+//	studyctl submit -server 127.0.0.1:9464                 # both figures
+//	studyctl submit -server :9464 -quick -fig 1 -progress  # stream Fig. 1 points
+//	studyctl submit -server :9464 -csv out.csv             # dump raw series
+//	studyctl health -server :9464                          # readiness probe
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"daosim/internal/bench"
+	"daosim/internal/studysvc"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes one studyctl invocation, writing human output to out.
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("studyctl: usage: studyctl submit|health -server host:port [flags]")
+	}
+	switch args[0] {
+	case "submit":
+		return runSubmit(args[1:], out)
+	case "health":
+		return runHealth(args[1:], out)
+	default:
+		return fmt.Errorf("studyctl: unknown subcommand %q (want submit or health)", args[0])
+	}
+}
+
+// runSubmit drives the figure sweeps through the server.
+func runSubmit(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("studyctl submit", flag.ContinueOnError)
+	var (
+		server   = fs.String("server", "", "daosd address (host:port or http:// URL)")
+		quick    = fs.Bool("quick", false, "reduced node sweep")
+		fig      = fs.Int("fig", 0, "run only this figure (1 or 2); 0 = both")
+		csvPath  = fs.String("csv", "", "write raw series CSV to this file")
+		progress = fs.Bool("progress", false, "print each point as it streams back")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *server == "" {
+		return fmt.Errorf("studyctl: -server is required")
+	}
+
+	client := studysvc.NewClient(*server)
+	if *progress {
+		client.OnPoint = func(sp studysvc.StreamPoint) {
+			mark := ""
+			if sp.CacheHit {
+				mark = "  (cache)"
+			}
+			if sp.Err != "" {
+				mark = "  ERROR: " + sp.Err
+			}
+			fmt.Fprintf(out, "  point study=%d series=%d nodes=%d write=%.2f read=%.2f GiB/s%s\n",
+				sp.Study, sp.Series, sp.Nodes, sp.WriteGiBs, sp.ReadGiBs, mark)
+		}
+	}
+	opts := bench.Options{Runner: client, Scale: bench.Full}
+	if *quick {
+		opts.Scale = bench.Quick
+	}
+
+	csv, err := bench.RunFigures(opts, *fig, out)
+	if err != nil {
+		return err
+	}
+
+	if err := bench.WriteCSV(*csvPath, csv, out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, client.Ledger())
+	return nil
+}
+
+// runHealth probes the server.
+func runHealth(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("studyctl health", flag.ContinueOnError)
+	server := fs.String("server", "", "daosd address (host:port or http:// URL)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *server == "" {
+		return fmt.Errorf("studyctl: -server is required")
+	}
+	if err := studysvc.NewClient(*server).Health(context.Background()); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "ok")
+	return nil
+}

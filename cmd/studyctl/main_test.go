@@ -1,0 +1,82 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"daosim/internal/studysvc"
+)
+
+func TestArgValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no args", nil, "usage"},
+		{"unknown subcommand", []string{"bogus"}, "unknown subcommand"},
+		{"submit without server", []string{"submit"}, "-server is required"},
+		{"health without server", []string{"health"}, "-server is required"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf strings.Builder
+			err := run(tc.args, &buf)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %v, want error mentioning %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestHealthAgainstServer(t *testing.T) {
+	srv := studysvc.New(studysvc.Config{Workers: 1})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	var buf strings.Builder
+	if err := run([]string{"health", "-server", ts.URL}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ok") {
+		t.Fatalf("health output = %q", buf.String())
+	}
+}
+
+// TestSubmitAgainstServer drives the full submit path — figure sweep
+// through a loopback daosd, streamed progress, rendered tables, claims,
+// CSV, ledger — against a real worker pool.
+func TestSubmitAgainstServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Figure 2 sweep; skipped under -short (the 1-core race job)")
+	}
+	srv := studysvc.New(studysvc.Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	csv := t.TempDir() + "/out.csv"
+	var buf strings.Builder
+	if err := run([]string{"submit", "-server", ts.URL, "-quick", "-fig", "2", "-progress", "-csv", csv}, &buf); err != nil {
+		t.Fatalf("submit failed: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, marker := range []string{
+		"point study=0",               // progress streamed
+		"=== Figure 2",                // table rendered
+		"(a) Read",                    // both panels
+		"(b) Write",                   //
+		"fig2:",                       // claims checked
+		"raw series written to",       // CSV dumped
+		"server cache: off (6 points", // ledger reported (cache-less server)
+	} {
+		if !strings.Contains(out, marker) {
+			t.Fatalf("submit output missing %q:\n%s", marker, out)
+		}
+	}
+}

@@ -9,6 +9,8 @@ package bench
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"strings"
 
 	"daosim/internal/cache"
@@ -52,13 +54,30 @@ type Options struct {
 	// simulating. Identical points shared between experiments (e.g. the
 	// DFS/S2 sweep appearing in several ablations) hit across them.
 	Cache *cache.Cache
+	// Runner, when non-nil, overrides where study grids execute — e.g. a
+	// studysvc.Client routes them through a daosd server. Results are
+	// byte-identical to the default in-process core.Runner (that is the
+	// service's contract). Parallelism above then applies only to work
+	// that cannot leave the process (the native-array points, which are
+	// never memoized on any path); Cache is not consulted at all — with a
+	// server, caching is the server's concern.
+	Runner core.StudyRunner
 }
 
 // At is shorthand for Options{Scale: s}.
 func At(s Scale) Options { return Options{Scale: s} }
 
-// runner returns the worker pool the experiment fans out on.
-func (o Options) runner() *core.Runner {
+// runner returns the study executor the experiment's grids run on.
+func (o Options) runner() core.StudyRunner {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return o.local()
+}
+
+// local returns the in-process worker pool, for point work that is not a
+// study grid and therefore cannot be routed to a study server.
+func (o Options) local() *core.Runner {
 	return &core.Runner{Parallelism: o.Parallelism, Cache: o.Cache}
 }
 
@@ -80,6 +99,59 @@ func Figure2(o Options) (*core.Study, error) {
 		Variants: core.HardVariants(),
 		Seed:     o.Seed,
 	})
+}
+
+// RunFigures runs the paper's figure studies (fig = 1, 2, or 0 for both)
+// on the Options runner, writing the rendered tables, sweep wall-clock,
+// and machine-checked claims to out. It is the one figure driver shared by
+// cmd/figures and cmd/studyctl, so the two binaries cannot drift apart in
+// what they print. The returned string is the accumulated raw-series CSV
+// of every figure that ran.
+func RunFigures(o Options, fig int, out io.Writer) (string, error) {
+	if fig < 0 || fig > 2 {
+		return "", fmt.Errorf("bench: no figure %d (want 1, 2, or 0 for both)", fig)
+	}
+	var csv string
+	var easy, hard *core.Study
+	var err error
+	if fig == 0 || fig == 1 {
+		if easy, err = Figure1(o); err != nil {
+			return csv, err
+		}
+		fmt.Fprintln(out, Render("Figure 1: IOR file-per-process (easy)", easy))
+		fmt.Fprintf(out, "(swept in %v wall-clock)\n\n", easy.Elapsed)
+		fmt.Fprintln(out, "Paper claims, checked:")
+		fmt.Fprintln(out, RenderClaims(easy.CheckEasyClaims()))
+		csv += easy.CSV()
+	}
+	if fig == 0 || fig == 2 {
+		if hard, err = Figure2(o); err != nil {
+			return csv, err
+		}
+		fmt.Fprintln(out, Render("Figure 2: IOR shared-file (hard)", hard))
+		fmt.Fprintf(out, "(swept in %v wall-clock)\n\n", hard.Elapsed)
+		fmt.Fprintln(out, "Paper claims, checked:")
+		fmt.Fprintln(out, RenderClaims(hard.CheckHardClaims()))
+		csv += hard.CSV()
+	}
+	if easy != nil && hard != nil {
+		fmt.Fprintln(out, "Cross-figure claim:")
+		fmt.Fprintln(out, RenderClaims(core.CheckCrossClaims(easy, hard)))
+	}
+	return csv, nil
+}
+
+// WriteCSV dumps a RunFigures CSV accumulation to path (a no-op when path
+// is empty), reporting the write on out — the tail both CLIs share.
+func WriteCSV(path, csv string, out io.Writer) error {
+	if path == "" {
+		return nil
+	}
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "raw series written to %s\n", path)
+	return nil
 }
 
 // Render formats a study as the paper renders a figure: a read panel (a)
@@ -207,10 +279,11 @@ func FutureNativeArray(o Options) ([]NativePoint, error) {
 	nodes := nodesFor(o.Scale)
 	out := make([]NativePoint, len(nodes))
 
-	// Native points are independent simulations: fan them out on the same
-	// runner pool the study points use. The DFS comparison sweep runs after
-	// this phase so the two never exceed the Parallelism bound combined.
-	err := o.runner().Map(len(nodes), func(i int) error {
+	// Native points are independent simulations, not Config grids: they
+	// always fan out on the local pool (a study server cannot run them).
+	// The DFS comparison sweep runs after this phase so the two never
+	// exceed the Parallelism bound combined.
+	err := o.local().Map(len(nodes), func(i int) error {
 		var e error
 		out[i], e = runNativeArray(nodes[i], 8, 16<<20, 2<<20, o.Seed)
 		return e

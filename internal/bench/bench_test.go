@@ -9,7 +9,20 @@ import (
 // CI validates every figure/ablation path end to end. Full-scale sweeps run
 // through cmd/figures.
 
+// skipGridInShort guards experiments that simulate a whole figure-sized
+// grid: under the race detector's ~15x slowdown on a 1-core runner the
+// full set blows the default go-test timeout, so the -short race job runs
+// one representative grid (Figure 2) plus the cheap ablations and leaves
+// the rest to the plain test job.
+func skipGridInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("figure-sized grid; covered by the plain (non -short) test job")
+	}
+}
+
 func TestFigure1Quick(t *testing.T) {
+	skipGridInShort(t)
 	st, err := Figure1(At(Quick))
 	if err != nil {
 		t.Fatal(err)
@@ -39,6 +52,7 @@ func TestFigure2Quick(t *testing.T) {
 }
 
 func TestAblationObjectClassQuick(t *testing.T) {
+	skipGridInShort(t)
 	st, err := AblationObjectClass(At(Quick))
 	if err != nil {
 		t.Fatal(err)
@@ -69,6 +83,7 @@ func TestAblationTransferSizeQuick(t *testing.T) {
 }
 
 func TestAblationFuseOverheadQuick(t *testing.T) {
+	skipGridInShort(t)
 	st, err := AblationFuseOverhead(At(Quick))
 	if err != nil {
 		t.Fatal(err)
@@ -83,6 +98,7 @@ func TestAblationFuseOverheadQuick(t *testing.T) {
 }
 
 func TestAblationCollectiveQuick(t *testing.T) {
+	skipGridInShort(t)
 	st, err := AblationCollective(At(Quick))
 	if err != nil {
 		t.Fatal(err)
@@ -100,6 +116,7 @@ func TestAblationCollectiveQuick(t *testing.T) {
 }
 
 func TestFutureNativeArrayQuick(t *testing.T) {
+	skipGridInShort(t)
 	pts, err := FutureNativeArray(At(Quick))
 	if err != nil {
 		t.Fatal(err)

@@ -30,6 +30,15 @@ func pointKey(cfg Config, v Variant, nodes int, seed uint64) cache.Key {
 	return pointKeyAt(sim.KernelVersion, cfg, v, nodes, seed)
 }
 
+// Key returns the job's content address: the canonical hash of every input
+// that affects the point's measured bandwidths (see pointKey). Any
+// scheduler — the in-process Runner or the studysvc server — uses this key
+// to consult the point cache before executing the job and to store the
+// result after, so all backends share one memoization namespace.
+func (j PointJob) Key() cache.Key {
+	return pointKey(j.Cfg, j.Variant, j.Nodes, j.Seed)
+}
+
 // pointKeyAt is pointKey at an explicit kernel version (split out so tests
 // can prove a version bump reaches the key).
 func pointKeyAt(kernel int, cfg Config, v Variant, nodes int, seed uint64) cache.Key {

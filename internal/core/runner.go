@@ -10,6 +10,18 @@ import (
 	"daosim/internal/cache"
 )
 
+// StudyRunner executes batches of study sweeps. Runner is the in-process
+// implementation; internal/studysvc's Client satisfies the same interface by
+// routing the identical point grid through a daosd study server, so any
+// caller (the bench experiments, the figures command) can swap execution
+// backends without observing a difference in results.
+type StudyRunner interface {
+	Run(cfg Config) (*Study, error)
+	RunAll(cfgs []Config) ([]*Study, error)
+}
+
+var _ StudyRunner = (*Runner)(nil)
+
 // Runner executes study sweeps on a bounded worker pool. Every
 // (variant, node-count) point of a study is an independent simulation on its
 // own testbed, so points fan out across OS threads; per-point seeds are
@@ -38,21 +50,35 @@ func (r *Runner) Run(cfg Config) (*Study, error) {
 	return studies[0], err
 }
 
-// RunAll executes several independent study sweeps on one shared worker
-// pool, so small studies (single-point ablations, per-size sweeps) still fill
-// every core. Studies come back in input order, fully populated: a failed
-// point records its error in Point.Err instead of aborting the batch, and
-// the returned error joins every point failure (nil if all points succeeded).
-func (r *Runner) RunAll(cfgs []Config) ([]*Study, error) {
+// PointJob is the unit of study work: one (variant, node-count) grid cell
+// with its deterministically derived seed and the coordinates of the result
+// slot it fills (studies[Study].Series[Series].Points[Index]). It is what a
+// scheduler — the in-process Runner or a daosd worker fleet — dispatches,
+// and it carries everything needed to execute the point or compute its
+// cache key, so any executor anywhere produces the identical Point.
+type PointJob struct {
+	// Study, Series, Index locate the result slot in the batch returned by
+	// Decompose.
+	Study, Series, Index int
+	// Cfg is the defaulted study configuration the point belongs to.
+	Cfg Config
+	// Variant and Nodes are the grid cell.
+	Variant Variant
+	Nodes   int
+	// Seed is the point's derived testbed seed (see PointSeed).
+	Seed uint64
+}
+
+// Decompose normalizes a batch of study configs (applying Defaults to a
+// copy; the input is not mutated) and expands it into pre-allocated result
+// Studies plus the flat list of point jobs that fills them. It is the
+// single decomposition used by every execution path — Runner.RunAll here,
+// and the studysvc server and client on both ends of the wire — so the
+// grid shape, slot order, and derived seeds can never diverge between
+// backends.
+func Decompose(cfgs []Config) ([]*Study, []PointJob) {
 	studies := make([]*Study, len(cfgs))
-	type job struct {
-		study, series, point int
-		cfg                  Config
-		variant              Variant
-		nodes                int
-		seed                 uint64
-	}
-	var jobs []job
+	var jobs []PointJob
 	for i := range cfgs {
 		cfg := cfgs[i]
 		cfg.Defaults()
@@ -60,15 +86,77 @@ func (r *Runner) RunAll(cfgs []Config) ([]*Study, error) {
 		for vi, v := range cfg.Variants {
 			st.Series[vi] = Series{Variant: v, Points: make([]Point, len(cfg.Nodes))}
 			for ni, n := range cfg.Nodes {
-				jobs = append(jobs, job{
-					study: i, series: vi, point: ni,
-					cfg: cfg, variant: v, nodes: n,
-					seed: PointSeed(cfg.Seed, vi, n),
+				jobs = append(jobs, PointJob{
+					Study: i, Series: vi, Index: ni,
+					Cfg: cfg, Variant: v, Nodes: n,
+					Seed: PointSeed(cfg.Seed, vi, n),
 				})
 			}
 		}
 		studies[i] = st
 	}
+	return studies, jobs
+}
+
+// Execute simulates the job's point and returns it with grid coordinates,
+// wall-clock, and any failure filled in. It is a pure function of the job:
+// two executions of the same job — in this process or another — return
+// Points with identical measured fields.
+func (j PointJob) Execute() Point {
+	t0 := time.Now()
+	pt, err := runPoint(j.Cfg, j.Variant, j.Nodes, j.Seed)
+	pt.Nodes = j.Nodes
+	pt.Ranks = j.Nodes * j.Cfg.PPN
+	pt.Elapsed = time.Since(t0)
+	if err != nil {
+		pt.Err = err.Error()
+	}
+	return pt
+}
+
+// FromEntry reconstructs the job's Point from its memoized cache entry,
+// exactly as Execute would have measured it (Elapsed is the replay cost,
+// which never reaches Table or CSV).
+func (j PointJob) FromEntry(e cache.Entry) Point {
+	return Point{
+		Nodes:     j.Nodes,
+		Ranks:     j.Nodes * j.Cfg.PPN,
+		WriteGiBs: e.WriteGiBs,
+		ReadGiBs:  e.ReadGiBs,
+	}
+}
+
+// CacheEntry returns the cache entry memoizing this point. Callers must not
+// cache failed points (Point.Err non-empty): an error is not a measurement.
+func (p Point) CacheEntry() cache.Entry {
+	return cache.Entry{WriteGiBs: p.WriteGiBs, ReadGiBs: p.ReadGiBs}
+}
+
+// Finish completes a Decompose batch after every job's Point has been
+// stored: it stamps the batch wall-clock on each study and joins the point
+// failures in grid order, formatted exactly as Runner.RunAll reports them.
+func Finish(studies []*Study, elapsed time.Duration) error {
+	var errs []error
+	for _, st := range studies {
+		st.Elapsed = elapsed
+		for _, s := range st.Series {
+			for _, pt := range s.Points {
+				if pt.Err != "" {
+					errs = append(errs, fmt.Errorf("core: %s @%d nodes: %s", s.Variant.Label, pt.Nodes, pt.Err))
+				}
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// RunAll executes several independent study sweeps on one shared worker
+// pool, so small studies (single-point ablations, per-size sweeps) still fill
+// every core. Studies come back in input order, fully populated: a failed
+// point records its error in Point.Err instead of aborting the batch, and
+// the returned error joins every point failure (nil if all points succeeded).
+func (r *Runner) RunAll(cfgs []Config) ([]*Study, error) {
+	studies, jobs := Decompose(cfgs)
 
 	workers := r.Parallelism
 	if workers <= 0 {
@@ -91,49 +179,32 @@ func (r *Runner) RunAll(cfgs []Config) ([]*Study, error) {
 	start := time.Now()
 	mapN(workers, len(jobs), func(i int) {
 		j := jobs[i]
-		t0 := time.Now()
-		pt, err := r.point(j.cfg, j.variant, j.nodes, j.seed)
-		pt.Nodes = j.nodes
-		pt.Ranks = j.nodes * j.cfg.PPN
-		pt.Elapsed = time.Since(t0)
-		if err != nil {
-			pt.Err = err.Error()
-		}
 		// Each job owns a distinct Points slot, so no locking.
-		studies[j.study].Series[j.series].Points[j.point] = pt
+		studies[j.Study].Series[j.Series].Points[j.Index] = r.runJob(j)
 	})
-	elapsed := time.Since(start)
-
-	var errs []error
-	for _, st := range studies {
-		st.Elapsed = elapsed
-		for _, s := range st.Series {
-			for _, pt := range s.Points {
-				if pt.Err != "" {
-					errs = append(errs, fmt.Errorf("core: %s @%d nodes: %s", s.Variant.Label, pt.Nodes, pt.Err))
-				}
-			}
-		}
-	}
-	return studies, errors.Join(errs...)
+	return studies, Finish(studies, time.Since(start))
 }
 
-// point measures one sweep point, consulting the Runner's cache first. On a
-// miss the simulated result is stored so later sweeps over the same
+// runJob measures one sweep point, consulting the Runner's cache first. On
+// a miss the simulated result is stored so later sweeps over the same
 // configuration replay it.
-func (r *Runner) point(cfg Config, v Variant, nodes int, seed uint64) (Point, error) {
+func (r *Runner) runJob(j PointJob) Point {
 	if r.Cache == nil {
-		return runPoint(cfg, v, nodes, seed)
+		return j.Execute()
 	}
-	k := pointKey(cfg, v, nodes, seed)
+	t0 := time.Now()
+	k := j.Key()
 	if e, ok := r.Cache.Get(k); ok {
-		return Point{WriteGiBs: e.WriteGiBs, ReadGiBs: e.ReadGiBs}, nil
+		pt := j.FromEntry(e)
+		pt.Elapsed = time.Since(t0)
+		return pt
 	}
-	pt, err := runPoint(cfg, v, nodes, seed)
-	if err == nil {
-		r.Cache.Put(k, cache.Entry{WriteGiBs: pt.WriteGiBs, ReadGiBs: pt.ReadGiBs})
+	pt := j.Execute()
+	if pt.Err == "" {
+		r.Cache.Put(k, pt.CacheEntry())
 	}
-	return pt, err
+	pt.Elapsed = time.Since(t0)
+	return pt
 }
 
 // Map runs n independent jobs on the Runner's worker pool and joins their

@@ -117,6 +117,54 @@ func TestRunAllBatches(t *testing.T) {
 	}
 }
 
+// TestDecomposeGrid pins the decomposition contract both the in-process
+// Runner and the studysvc wire protocol build on: jobs enumerate the grid
+// in (study, variant, node) order, carry slot coordinates that biject onto
+// the pre-allocated Points slots, derive their seeds with PointSeed from
+// the defaulted config, and never mutate the caller's configs.
+func TestDecomposeGrid(t *testing.T) {
+	cfgA := tinyConfig("easy", []Variant{
+		{Label: "daos S2", API: ior.APIDFS, Class: placement.S2},
+		{Label: "daos SX", API: ior.APIDFS, Class: placement.SX},
+	})
+	cfgB := tinyConfig("hard", []Variant{{Label: "daos (DFS)", API: ior.APIDFS, Class: placement.SX}})
+	in := []Config{cfgA, cfgB}
+
+	studies, jobs := Decompose(in)
+
+	if in[0].Seed != 0 || in[0].PPN != cfgA.PPN {
+		t.Fatalf("Decompose mutated its input: %+v", in[0])
+	}
+	want := len(cfgA.Variants)*len(cfgA.Nodes) + len(cfgB.Variants)*len(cfgB.Nodes)
+	if len(jobs) != want {
+		t.Fatalf("jobs = %d, want %d", len(jobs), want)
+	}
+	seen := map[[3]int]bool{}
+	for _, j := range jobs {
+		slot := [3]int{j.Study, j.Series, j.Index}
+		if seen[slot] {
+			t.Fatalf("duplicate slot %v", slot)
+		}
+		seen[slot] = true
+		st := studies[j.Study]
+		if j.Variant.Label != st.Series[j.Series].Variant.Label {
+			t.Fatalf("slot %v variant mismatch: %q vs %q", slot, j.Variant.Label, st.Series[j.Series].Variant.Label)
+		}
+		if j.Nodes != st.Config.Nodes[j.Index] {
+			t.Fatalf("slot %v node mismatch: %d vs %d", slot, j.Nodes, st.Config.Nodes[j.Index])
+		}
+		if j.Cfg.Seed == 0 {
+			t.Fatal("job carries an undefaulted config")
+		}
+		if j.Seed != PointSeed(j.Cfg.Seed, j.Series, j.Nodes) {
+			t.Fatalf("slot %v seed not derived with PointSeed", slot)
+		}
+	}
+	if len(seen) != want {
+		t.Fatalf("slots covered = %d, want %d", len(seen), want)
+	}
+}
+
 // TestPointSeedDerivation pins the seed-derivation scheme: order-free,
 // decorrelated, and collision-free across a realistic grid.
 func TestPointSeedDerivation(t *testing.T) {

@@ -1,0 +1,225 @@
+package studysvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"daosim/internal/core"
+)
+
+var _ core.StudyRunner = (*Client)(nil)
+
+// Client submits study batches to a daosd server and reassembles the
+// streamed points into *core.Study values indistinguishable from an
+// in-process run. It implements core.StudyRunner, so anything that takes a
+// runner — every bench experiment, cmd/figures — can execute through a
+// server by swapping this in.
+type Client struct {
+	// HTTP is the transport (default http.DefaultClient). Streams are
+	// long-lived: give a custom client no overall Timeout.
+	HTTP *http.Client
+	// OnPoint, when set, observes every streamed point as it arrives —
+	// progress reporting for interactive callers. It runs on the stream
+	// reader goroutine and must not block.
+	OnPoint func(StreamPoint)
+
+	base string
+
+	mu     sync.Mutex
+	ledger Ledger
+}
+
+// NewClient returns a client for the daosd server at addr (a host:port or
+// an http:// URL).
+func NewClient(addr string) *Client {
+	base := strings.TrimSuffix(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: base}
+}
+
+// Ledger accumulates the trailer counters of every submission a Client has
+// completed: the client-side view of how much work the server's cache
+// absorbed.
+type Ledger struct {
+	Requests     int
+	Points       int
+	CacheEnabled bool
+	CacheHits    int
+	CacheMisses  int
+	Errors       int
+}
+
+// String renders the ledger in the cache-stats idiom, including the
+// "(100.0% hits)" marker CI greps for on warm runs.
+func (l Ledger) String() string {
+	if !l.CacheEnabled {
+		return fmt.Sprintf("server cache: off (%d points over %d requests)", l.Points, l.Requests)
+	}
+	lookups := l.CacheHits + l.CacheMisses
+	rate := 0.0
+	if lookups > 0 {
+		rate = 100 * float64(l.CacheHits) / float64(lookups)
+	}
+	return fmt.Sprintf("server cache: %d lookups, %d hits, %d misses (%.1f%% hits), %d points over %d requests",
+		lookups, l.CacheHits, l.CacheMisses, rate, l.Points, l.Requests)
+}
+
+// Ledger returns the accumulated submission counters.
+func (c *Client) Ledger() Ledger {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ledger
+}
+
+// Run executes one study sweep through the server.
+func (c *Client) Run(cfg core.Config) (*core.Study, error) {
+	studies, err := c.RunAll([]core.Config{cfg})
+	if len(studies) != 1 {
+		// Unlike core.Runner.RunAll, Submit returns no studies at all when
+		// the exchange itself fails (server unreachable, stream truncated).
+		return nil, err
+	}
+	return studies[0], err
+}
+
+// RunAll executes a batch of study sweeps through the server, mirroring
+// core.Runner.RunAll: studies come back in input order and fully populated,
+// and the returned error joins per-point failures.
+func (c *Client) RunAll(cfgs []core.Config) ([]*core.Study, error) {
+	return c.Submit(context.Background(), cfgs)
+}
+
+// Submit posts the batch and consumes the result stream. The returned
+// studies are assembled from the client's own core.Decompose of cfgs —
+// identical to the server's by construction — with each streamed point
+// dropped into its slot, so Table and CSV render byte-identically to an
+// in-process run. A nil error means the stream completed with a trailer
+// and no point carried a failure.
+func (c *Client) Submit(ctx context.Context, cfgs []core.Config) ([]*core.Study, error) {
+	if len(cfgs) == 0 {
+		// Mirror core.Runner.RunAll(nil) without a round trip; the server
+		// rejects empty submissions as malformed.
+		studies, _ := core.Decompose(cfgs)
+		return studies, nil
+	}
+	start := time.Now()
+	body, err := json.Marshal(SubmitRequest{Configs: cfgs})
+	if err != nil {
+		return nil, fmt.Errorf("studysvc: encode submit: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+PathSubmit, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("studysvc: build submit: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("studysvc: submit: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		diag, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return nil, fmt.Errorf("studysvc: server rejected submit: %s: %s",
+			resp.Status, strings.TrimSpace(string(diag)))
+	}
+
+	studies, jobs := core.Decompose(cfgs)
+	dec := json.NewDecoder(resp.Body)
+
+	var h Header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("studysvc: read stream header: %w", err)
+	}
+	if h.Points != len(jobs) || h.Studies != len(cfgs) {
+		return nil, fmt.Errorf("studysvc: server decomposed %d points / %d studies, client expected %d / %d (client/server version skew?)",
+			h.Points, h.Studies, len(jobs), len(cfgs))
+	}
+
+	// A point line is distinguished from a premature trailer by "done".
+	type line struct {
+		StreamPoint
+		Done bool `json:"done"`
+	}
+	filled := make([]bool, len(jobs))
+	slot := make(map[[3]int]int, len(jobs))
+	for i, j := range jobs {
+		slot[[3]int{j.Study, j.Series, j.Index}] = i
+	}
+	for seen := 0; seen < len(jobs); seen++ {
+		var ln line
+		if err := dec.Decode(&ln); err != nil {
+			return nil, fmt.Errorf("studysvc: stream truncated after %d/%d points: %w", seen, len(jobs), err)
+		}
+		if ln.Done {
+			return nil, fmt.Errorf("studysvc: stream ended early after %d/%d points", seen, len(jobs))
+		}
+		sp := ln.StreamPoint
+		i, ok := slot[[3]int{sp.Study, sp.Series, sp.Index}]
+		if !ok {
+			return nil, fmt.Errorf("studysvc: stream carried a point outside the batch grid (study=%d series=%d index=%d)",
+				sp.Study, sp.Series, sp.Index)
+		}
+		if filled[i] {
+			return nil, fmt.Errorf("studysvc: stream carried a duplicate point (study=%d series=%d index=%d)",
+				sp.Study, sp.Series, sp.Index)
+		}
+		filled[i] = true
+		studies[sp.Study].Series[sp.Series].Points[sp.Index] = sp.toPoint()
+		if c.OnPoint != nil {
+			c.OnPoint(sp)
+		}
+	}
+
+	var t Trailer
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("studysvc: stream missing trailer: %w", err)
+	}
+	if !t.Done {
+		return nil, fmt.Errorf("studysvc: malformed trailer: %+v", t)
+	}
+	c.mu.Lock()
+	c.ledger.Requests++
+	c.ledger.Points += t.Points
+	c.ledger.CacheEnabled = c.ledger.CacheEnabled || t.CacheEnabled
+	c.ledger.CacheHits += t.CacheHits
+	c.ledger.CacheMisses += t.CacheMisses
+	c.ledger.Errors += t.Errors
+	c.mu.Unlock()
+
+	return studies, core.Finish(studies, time.Since(start))
+}
+
+// Health checks the server's PathHealth endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathHealth, nil)
+	if err != nil {
+		return err
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return fmt.Errorf("studysvc: health: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("studysvc: health: %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package studysvc
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"daosim/internal/cache"
+	"daosim/internal/core"
+	"daosim/internal/ior"
+)
+
+// The end-to-end harness pins the service's whole contract: a batch
+// submitted over the wire must reassemble into studies whose Table and CSV
+// output is byte-identical to a direct core.Runner run of the same configs
+// — cold (every point simulated by the worker pool) and warm (every point
+// replayed from the server's cache, reported as 100% hits in the trailer).
+// This is the PR 2 determinism-harness pattern lifted onto the protocol:
+// byte-identity across the wire is tested, never assumed.
+
+// quickFigureConfigs returns the Quick-scale Figure 1 + Figure 2 grids, the
+// same grids bench.Figure1/Figure2 submit at bench.Quick. In -short mode
+// (the 1-core CI race job) only the Figure 2 grid runs; the full grids are
+// covered by the plain test job and the CI server-smoke job.
+func quickFigureConfigs(t *testing.T) []core.Config {
+	quickNodes := []int{1, 4}
+	fig2 := core.Config{Workload: "hard", Nodes: quickNodes, Variants: core.HardVariants()}
+	if testing.Short() {
+		return []core.Config{fig2}
+	}
+	fig1 := core.Config{Workload: "easy", Nodes: quickNodes, Variants: core.EasyVariants()}
+	return []core.Config{fig1, fig2}
+}
+
+// render captures everything a study prints: both table panels plus CSV.
+func render(studies []*core.Study) string {
+	var b strings.Builder
+	for _, st := range studies {
+		b.WriteString(st.Table(true))
+		b.WriteString(st.Table(false))
+		b.WriteString(st.CSV())
+	}
+	return b.String()
+}
+
+// startServer boots a studysvc server on a loopback listener.
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func TestE2EByteIdenticalColdAndWarm(t *testing.T) {
+	cfgs := quickFigureConfigs(t)
+
+	direct, err := (&core.Runner{}).RunAll(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(direct)
+
+	c, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startServer(t, Config{Workers: 2, Cache: c})
+
+	points := 0
+	for _, st := range direct {
+		points += len(st.Series) * len(st.Config.Nodes)
+	}
+
+	// Cold: every point is simulated by the pool and stored.
+	cold := NewClient(ts.URL)
+	coldStudies, err := cold.Submit(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(coldStudies); got != want {
+		t.Fatalf("cold server run diverged from direct run:\n--- direct ---\n%s--- server ---\n%s", want, got)
+	}
+	if l := cold.Ledger(); !l.CacheEnabled || l.CacheHits != 0 || l.CacheMisses != points {
+		t.Fatalf("cold ledger: want 0/%d hits, got %+v", points, l)
+	}
+
+	// Warm: the identical batch must be answered entirely from the cache.
+	warm := NewClient(ts.URL)
+	warmStudies, err := warm.Submit(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(warmStudies); got != want {
+		t.Fatalf("warm server run diverged from direct run:\n--- direct ---\n%s--- server ---\n%s", want, got)
+	}
+	l := warm.Ledger()
+	if l.CacheHits != points || l.CacheMisses != 0 {
+		t.Fatalf("warm run did not hit 100%%: %+v", l)
+	}
+	if !strings.Contains(l.String(), "(100.0% hits)") {
+		t.Fatalf("warm ledger missing the 100%%-hits marker CI greps: %s", l)
+	}
+}
+
+// TestE2EUncachedServer proves the cache is an accelerator, not a
+// dependency: a server with no cache still streams byte-identical results.
+func TestE2EUncachedServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by TestE2EByteIdenticalColdAndWarm; skipping the extra full-simulation pass in -short")
+	}
+	cfgs := quickFigureConfigs(t)[:1]
+	direct, err := (&core.Runner{}).RunAll(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startServer(t, Config{Workers: 2})
+	client := NewClient(ts.URL)
+	studies, err := client.Submit(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := render(studies), render(direct); got != want {
+		t.Fatalf("uncached server run diverged:\n--- direct ---\n%s--- server ---\n%s", want, got)
+	}
+	if l := client.Ledger(); l.CacheEnabled {
+		t.Fatalf("cache-less server claimed a cache: %+v", l)
+	}
+}
+
+// TestE2EPointFailuresPropagate pins the error contract across the wire: a
+// failing point must not abort the batch, its Err must land in the study,
+// and the client's joined error must read exactly like core.Runner's.
+func TestE2EPointFailuresPropagate(t *testing.T) {
+	cfgs := []core.Config{smallConfig([]core.Variant{
+		{Label: "good", API: ior.APIDFS},
+		{Label: "broken", API: ior.API("BOGUS")},
+	})}
+
+	direct, directErr := (&core.Runner{}).RunAll(cfgs)
+	if directErr == nil {
+		t.Fatal("direct run of a broken variant did not error")
+	}
+
+	_, ts := startServer(t, Config{Workers: 2})
+	client := NewClient(ts.URL)
+	studies, err := client.Submit(context.Background(), cfgs)
+	if err == nil {
+		t.Fatal("server run of a broken variant did not error")
+	}
+	if err.Error() != directErr.Error() {
+		t.Fatalf("joined error diverged across the wire:\n--- direct ---\n%v\n--- server ---\n%v", directErr, err)
+	}
+	if got, want := render(studies), render(direct); got != want {
+		t.Fatalf("partial results diverged:\n--- direct ---\n%s--- server ---\n%s", want, got)
+	}
+	if l := client.Ledger(); l.Errors != len(cfgs[0].Nodes) {
+		t.Fatalf("trailer error count: want %d, got %+v", len(cfgs[0].Nodes), l)
+	}
+}

@@ -1,0 +1,124 @@
+package studysvc
+
+import (
+	"time"
+
+	"daosim/internal/core"
+)
+
+// The wire protocol. A submission is one HTTP exchange:
+//
+//	POST /v1/studies
+//	Content-Type: application/json
+//	{"configs": [core.Config, ...]}
+//
+// answered with a 200 and an NDJSON stream (one JSON object per line,
+// flushed as produced):
+//
+//	{"points": N, "studies": M}                         <- Header, exactly once
+//	{"study":0,"series":1,"index":0,"nodes":4, ...}     <- StreamPoint, N times, completion order
+//	{"done":true,"points":N,"cache_hits":H, ...}        <- Trailer, exactly once
+//
+// Both ends run core.Decompose over the same configs, so the grid shape,
+// slot coordinates, and derived seeds agree by construction; the stream
+// only ever carries measured results, in whatever order points complete.
+// Submission errors (malformed body, empty batch) are plain non-200
+// responses with a text/plain diagnostic; once streaming has begun the
+// status is committed, so a truncated stream (missing Trailer) is the
+// error signal for mid-flight failure.
+const (
+	// PathSubmit accepts study batch submissions.
+	PathSubmit = "/v1/studies"
+	// PathHealth answers 200 "ok" when the server is accepting work.
+	PathHealth = "/v1/healthz"
+	// PathStats reports scheduler and cache counters.
+	PathStats = "/v1/statsz"
+
+	// ContentType is the media type of the result stream.
+	ContentType = "application/x-ndjson"
+)
+
+// SubmitRequest is the body of a PathSubmit POST. Configs are raw study
+// configurations: the server applies core defaults itself (via
+// core.Decompose), so clients submit exactly what they would hand to
+// core.Runner.RunAll.
+type SubmitRequest struct {
+	Configs []core.Config `json:"configs"`
+}
+
+// Header is the first stream line: the server's decomposition of the batch,
+// which the client checks against its own before accepting points.
+type Header struct {
+	// Points is the total number of point jobs the batch expands to.
+	Points int `json:"points"`
+	// Studies is the number of studies in the batch.
+	Studies int `json:"studies"`
+}
+
+// StreamPoint is one completed sweep point, streamed as soon as it lands.
+// Study/Series/Index are the result-slot coordinates from core.Decompose;
+// the measured fields mirror core.Point exactly (float64 values survive the
+// JSON round trip bit-for-bit, which is what keeps server-side sweeps
+// byte-identical to in-process ones).
+type StreamPoint struct {
+	Study  int `json:"study"`
+	Series int `json:"series"`
+	Index  int `json:"index"`
+
+	Nodes     int     `json:"nodes"`
+	Ranks     int     `json:"ranks"`
+	WriteGiBs float64 `json:"write_gibs"`
+	ReadGiBs  float64 `json:"read_gibs"`
+	// ElapsedNS is the executing worker's host wall-clock for the point.
+	ElapsedNS int64  `json:"elapsed_ns"`
+	Err       string `json:"err,omitempty"`
+	// CacheHit marks a point served from the server's cache without
+	// simulating.
+	CacheHit bool `json:"cache_hit,omitempty"`
+}
+
+// Trailer is the last stream line: the batch ledger. Its presence is the
+// client's proof that the stream is complete.
+type Trailer struct {
+	Done   bool `json:"done"`
+	Points int  `json:"points"`
+	// CacheEnabled reports whether the server consulted a point cache for
+	// this batch; when false the hit/miss counters are meaningless.
+	CacheEnabled bool `json:"cache_enabled"`
+	// CacheHits and CacheMisses partition the batch's points: hits were
+	// replayed from the cache, misses were dispatched to workers.
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// Errors counts points that completed with a failure recorded.
+	Errors int `json:"errors"`
+	// ElapsedNS is the server-side wall-clock for the whole batch.
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// toWire converts an executed point into its stream line.
+func toWire(j core.PointJob, pt core.Point, hit bool) StreamPoint {
+	return StreamPoint{
+		Study:     j.Study,
+		Series:    j.Series,
+		Index:     j.Index,
+		Nodes:     pt.Nodes,
+		Ranks:     pt.Ranks,
+		WriteGiBs: pt.WriteGiBs,
+		ReadGiBs:  pt.ReadGiBs,
+		ElapsedNS: int64(pt.Elapsed),
+		Err:       pt.Err,
+		CacheHit:  hit,
+	}
+}
+
+// toPoint converts a stream line back into the core.Point it carries.
+func (sp StreamPoint) toPoint() core.Point {
+	return core.Point{
+		Nodes:     sp.Nodes,
+		Ranks:     sp.Ranks,
+		WriteGiBs: sp.WriteGiBs,
+		ReadGiBs:  sp.ReadGiBs,
+		Elapsed:   time.Duration(sp.ElapsedNS),
+		Err:       sp.Err,
+	}
+}

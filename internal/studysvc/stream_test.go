@@ -1,0 +1,301 @@
+package studysvc
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"daosim/internal/cluster"
+	"daosim/internal/core"
+	"daosim/internal/ior"
+)
+
+// The stream tests exercise the scheduler, not the physics: they run on
+// stub workers that fabricate deterministic per-job results instantly (or
+// after a controlled delay), so sharding, fairness between concurrent
+// clients, disconnect handling, and goroutine hygiene are all cheap to
+// test under -race.
+
+// smallConfig is a fast test grid on the reduced testbed.
+func smallConfig(variants []core.Variant) core.Config {
+	return core.Config{
+		Workload:     "easy",
+		Nodes:        []int{1, 2},
+		PPN:          2,
+		BlockSize:    4 << 20,
+		TransferSize: 1 << 20,
+		Variants:     variants,
+		Testbed:      cluster.Small(),
+	}
+}
+
+// stubValue fabricates a deterministic bandwidth from a job's identity, so
+// tests can verify every streamed point landed in the right slot without
+// simulating anything.
+func stubValue(j core.PointJob) float64 {
+	return float64(j.Seed%1009) + float64(j.Study*100+j.Series*10+j.Index)/1000
+}
+
+// stubWorker returns fabricated points after an optional delay.
+type stubWorker struct {
+	delay time.Duration
+}
+
+func (w stubWorker) RunPoint(ctx context.Context, j core.PointJob) core.Point {
+	if w.delay > 0 {
+		select {
+		case <-time.After(w.delay):
+		case <-ctx.Done():
+			return canceledPoint(j)
+		}
+	}
+	v := stubValue(j)
+	return core.Point{Nodes: j.Nodes, Ranks: j.Nodes * j.Cfg.PPN, WriteGiBs: v, ReadGiBs: 2 * v}
+}
+
+// verifyStubStudies checks a reassembled batch against the stub's
+// deterministic values, slot by slot.
+func verifyStubStudies(t *testing.T, cfgs []core.Config, studies []*core.Study) {
+	t.Helper()
+	expected, jobs := core.Decompose(cfgs)
+	if len(studies) != len(expected) {
+		t.Fatalf("got %d studies, want %d", len(studies), len(expected))
+	}
+	for _, j := range jobs {
+		pt := studies[j.Study].Series[j.Series].Points[j.Index]
+		v := stubValue(j)
+		if pt.WriteGiBs != v || pt.ReadGiBs != 2*v || pt.Nodes != j.Nodes || pt.Ranks != j.Nodes*j.Cfg.PPN {
+			t.Fatalf("slot (%d,%d,%d) holds the wrong point: %+v (want write=%v)",
+				j.Study, j.Series, j.Index, pt, v)
+		}
+	}
+}
+
+// TestConcurrentClientsCompleteStreams submits overlapping grids from two
+// clients at once: each must get back a complete, correctly-assembled
+// batch, with the shared pool sharding points between them.
+func TestConcurrentClientsCompleteStreams(t *testing.T) {
+	_, ts := startServer(t, Config{
+		Workers:   2,
+		NewWorker: func() Worker { return stubWorker{} },
+	})
+
+	// Overlapping grids: both batches contain the S2 sweep; one also runs
+	// SX, the other S1 plus a second study.
+	shared := core.Variant{Label: "daos S2", API: ior.APIDFS}
+	batchA := []core.Config{smallConfig([]core.Variant{shared, {Label: "daos SX", API: ior.APIDFS}})}
+	batchB := []core.Config{
+		smallConfig([]core.Variant{shared, {Label: "daos S1", API: ior.APIDFS}}),
+		smallConfig([]core.Variant{{Label: "hdf5", API: ior.APIHDF5}}),
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	results := make([][]*core.Study, 2)
+	for i, batch := range [][]core.Config{batchA, batchB} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := NewClient(ts.URL)
+			results[i], errs[i] = client.Submit(context.Background(), batch)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	verifyStubStudies(t, batchA, results[0])
+	verifyStubStudies(t, batchB, results[1])
+}
+
+// TestDisconnectMidStreamDoesNotWedgeOrLeak cancels a submission while its
+// points are still streaming, then proves the server (a) keeps serving
+// other clients immediately and (b) returns to its baseline goroutine
+// count — no worker wedged on the dead stream, no per-request goroutine
+// leaked.
+func TestDisconnectMidStreamDoesNotWedgeOrLeak(t *testing.T) {
+	srv := New(Config{
+		Workers:   1,
+		NewWorker: func() Worker { return stubWorker{delay: 20 * time.Millisecond} },
+	})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	// One transport for every client in this test, closable so client-side
+	// keep-alive goroutines cannot be mistaken for a server-side leak.
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	httpc := &http.Client{Transport: tr}
+
+	// Let the pool and HTTP plumbing settle, then take the baseline (idle
+	// keep-alive connections included, which only adds headroom below).
+	warmup(t, ts.URL, httpc)
+	baseline := runtime.NumGoroutine()
+
+	// A 12-point single-series grid through a 1-wide pool: the stream is
+	// guaranteed to still be in flight when the second point arrives.
+	wide := smallConfig([]core.Variant{{Label: "daos S2", API: ior.APIDFS}})
+	wide.Nodes = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	client := NewClient(ts.URL)
+	client.HTTP = httpc
+	streamed := 0
+	client.OnPoint = func(StreamPoint) {
+		streamed++
+		if streamed == 2 {
+			cancel()
+		}
+	}
+	_, err := client.Submit(ctx, []core.Config{wide})
+	if err == nil {
+		t.Fatal("canceled submission returned no error")
+	}
+
+	// The server must serve the next client promptly even though the
+	// abandoned batch's jobs are still queued (they are skipped, not run).
+	start := time.Now()
+	next := NewClient(ts.URL)
+	next.HTTP = httpc
+	studies, err := next.Submit(context.Background(), []core.Config{smallConfig([]core.Variant{{Label: "daos S1", API: ior.APIDFS}})})
+	if err != nil {
+		t.Fatalf("server wedged after disconnect: %v", err)
+	}
+	verifyStubStudies(t, []core.Config{smallConfig([]core.Variant{{Label: "daos S1", API: ior.APIDFS}})}, studies)
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("post-disconnect submission took %v: abandoned jobs were executed, not skipped", waited)
+	}
+
+	// Goroutine hygiene: everything the dead stream spawned must unwind.
+	tr.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after disconnect: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// warmup performs one tiny submission so lazily-started goroutines (HTTP
+// keep-alive pools, etc.) exist before the baseline count is taken.
+func warmup(t *testing.T, url string, httpc *http.Client) {
+	t.Helper()
+	client := NewClient(url)
+	client.HTTP = httpc
+	if _, err := client.Submit(context.Background(), []core.Config{smallConfig([]core.Variant{{Label: "w", API: ior.APIDFS}})}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubmitRejectsBadRequests pins the protocol's error responses: a
+// malformed body and an empty batch are plain 400s, not streams.
+func TestSubmitRejectsBadRequests(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, NewWorker: func() Worker { return stubWorker{} }})
+
+	resp, err := http.Post(ts.URL+PathSubmit, "application/json", strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: got %s, want 400", resp.Status)
+	}
+
+	resp, err = http.Post(ts.URL+PathSubmit, "application/json", strings.NewReader(`{"configs":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch on the wire: got %s, want 400", resp.Status)
+	}
+}
+
+// TestDegenerateBatchesMatchRunner pins core.StudyRunner parity on the
+// edges: an empty batch and a zero-point study must come back exactly as
+// core.Runner.RunAll returns them — populated skeletons, nil error — not
+// as protocol failures.
+func TestDegenerateBatchesMatchRunner(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, NewWorker: func() Worker { return stubWorker{} }})
+	client := NewClient(ts.URL)
+
+	studies, err := client.Submit(context.Background(), nil)
+	if err != nil || len(studies) != 0 {
+		t.Fatalf("empty batch: studies=%v err=%v, want empty and nil", studies, err)
+	}
+
+	noVariants := core.Config{Workload: "easy"}
+	direct, directErr := (&core.Runner{}).RunAll([]core.Config{noVariants})
+	studies, err = client.Submit(context.Background(), []core.Config{noVariants})
+	if err != nil || directErr != nil {
+		t.Fatalf("zero-point batch errored: server=%v direct=%v", err, directErr)
+	}
+	if len(studies) != 1 || len(studies[0].Series) != len(direct[0].Series) {
+		t.Fatalf("zero-point batch shape diverged: server=%+v direct=%+v", studies[0], direct[0])
+	}
+}
+
+// TestUnreachableServerIsAnError pins the transport failure mode: Run and
+// Submit against a dead address must return an error (not panic on the
+// missing studies — the regression a -server typo used to hit).
+func TestUnreachableServerIsAnError(t *testing.T) {
+	client := NewClient("127.0.0.1:1")
+	st, err := client.Run(smallConfig([]core.Variant{{Label: "daos S2", API: ior.APIDFS}}))
+	if err == nil || st != nil {
+		t.Fatalf("Run against a dead server: study=%v err=%v, want nil study and an error", st, err)
+	}
+	if !strings.Contains(err.Error(), "submit") {
+		t.Fatalf("error does not name the failing exchange: %v", err)
+	}
+}
+
+// TestStreamPointsArriveIncrementally proves the server streams (flushes
+// per point) rather than buffering the whole batch: with a 1-wide pool and
+// a per-point delay, the first point must arrive well before the last.
+func TestStreamPointsArriveIncrementally(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	_, ts := startServer(t, Config{
+		Workers:   1,
+		NewWorker: func() Worker { return stubWorker{delay: delay} },
+	})
+
+	grid := smallConfig([]core.Variant{{Label: "daos S2", API: ior.APIDFS}})
+	grid.Nodes = []int{1, 2, 3, 4, 5, 6}
+
+	var first, last time.Time
+	client := NewClient(ts.URL)
+	client.OnPoint = func(StreamPoint) {
+		now := time.Now()
+		if first.IsZero() {
+			first = now
+		}
+		last = now
+	}
+	if _, err := client.Submit(context.Background(), []core.Config{grid}); err != nil {
+		t.Fatal(err)
+	}
+	// Six sequential 30ms points: a buffered response would deliver all
+	// lines in one burst (first ≈ last); a streamed one spreads them over
+	// ≥ 5 delays. Allow generous slack for a loaded 1-core race runner.
+	if spread := last.Sub(first); spread < 2*delay {
+		t.Fatalf("points arrived in one burst (spread %v): stream is not incremental", spread)
+	}
+}

@@ -1,0 +1,259 @@
+// Package studysvc is the sharded multi-study scheduler service behind
+// cmd/daosd: a long-lived HTTP server that accepts batches of study
+// configurations, decomposes them into independent (variant, node-count)
+// point jobs with core.Decompose, consults the content-addressed point
+// cache (internal/cache) before scheduling, shards the remaining jobs
+// across a bounded worker pool, and streams each completed point back to
+// the submitting client as NDJSON the moment it lands.
+//
+// # Determinism across the wire
+//
+// The service adds scheduling, not physics. Both ends of the protocol run
+// the same core.Decompose over the same configs, every point executes
+// through core.PointJob.Execute with its order-independent derived seed,
+// and measured float64s cross the wire losslessly — so a client-side
+// reassembled *core.Study renders Table and CSV output byte-identical to
+// an in-process core.Runner run of the same batch. The e2e tests pin this
+// contract cold and warm.
+//
+// # Sharding and flow control
+//
+// All submissions share one job queue drained by Config.Workers pool
+// goroutines (the shard width), so concurrent clients compete fairly for
+// simulation capacity and the process never exceeds its concurrency
+// bound. Per-request result channels are buffered to the full batch size:
+// a worker can always deliver without blocking, which means one slow or
+// vanished client cannot wedge the pool. When a client disconnects
+// mid-stream its remaining queued jobs are skipped (their contexts are
+// canceled) and in-flight points finish and are discarded.
+//
+// # Caching
+//
+// With a cache configured, the scheduler looks every job up by its
+// content address (core.PointJob.Key) before dispatch — hits stream back
+// immediately, marked cache_hit — and stores every successfully simulated
+// point on completion. A warm server therefore answers a repeated batch
+// entirely from cache, which the stream trailer's ledger reports as 100%
+// hits. The cache may be disk-backed and shared with in-process runs: the
+// key scheme is identical.
+package studysvc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"daosim/internal/cache"
+	"daosim/internal/core"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Workers is the shard width: the number of point jobs simulated
+	// concurrently across all submissions (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// NewWorker builds one pool slot's execution backend (default
+	// LocalWorker). Each of the Workers slots gets its own instance.
+	NewWorker func() Worker
+	// Cache, when non-nil, memoizes completed points across submissions.
+	Cache *cache.Cache
+}
+
+// task is one scheduled point job plus the submission it reports to.
+type task struct {
+	ctx context.Context
+	job core.PointJob
+	out chan<- StreamPoint // buffered to the batch size; sends never block
+}
+
+// Server schedules study submissions over a bounded worker pool. It is an
+// http.Handler; create one with New and shut it down with Close.
+type Server struct {
+	cfg   Config
+	cache *cache.Cache
+	queue chan task
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	mux   *http.ServeMux
+}
+
+// New starts a Server's worker pool and returns the ready handler.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.NewWorker == nil {
+		cfg.NewWorker = func() Worker { return LocalWorker{} }
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: cfg.Cache,
+		queue: make(chan task),
+		quit:  make(chan struct{}),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST "+PathSubmit, s.handleSubmit)
+	s.mux.HandleFunc("GET "+PathHealth, s.handleHealth)
+	s.mux.HandleFunc("GET "+PathStats, s.handleStats)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(cfg.NewWorker())
+	}
+	return s
+}
+
+// Workers returns the pool width.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// Close stops the worker pool and waits for in-flight points to finish.
+// In-progress submissions observe the shutdown and end their streams early
+// (truncated, i.e. without a trailer).
+func (s *Server) Close() {
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// worker drains the shared queue until shutdown.
+func (s *Server) worker(backend Worker) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case t := <-s.queue:
+			t.out <- s.runTask(backend, t)
+		}
+	}
+}
+
+// runTask executes one queued job (skipping abandoned submissions) and
+// stores successful results in the cache.
+func (s *Server) runTask(backend Worker, t task) StreamPoint {
+	if t.ctx.Err() != nil {
+		return toWire(t.job, canceledPoint(t.job), false)
+	}
+	pt := backend.RunPoint(t.ctx, t.job)
+	if s.cache != nil && pt.Err == "" {
+		s.cache.Put(t.job.Key(), pt.CacheEntry())
+	}
+	return toWire(t.job, pt, false)
+}
+
+// handleSubmit decomposes a batch, schedules its points, and streams results
+// back in completion order.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("studysvc: bad submit body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Configs) == 0 {
+		http.Error(w, "studysvc: empty batch", http.StatusBadRequest)
+		return
+	}
+	// A batch that decomposes to zero points (e.g. a config with no
+	// variants) streams normally — header then trailer — matching
+	// core.Runner.RunAll, which returns such studies with empty series.
+	_, jobs := core.Decompose(req.Configs)
+
+	ctx := r.Context()
+	start := time.Now()
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := enc.Encode(Header{Points: len(jobs), Studies: len(req.Configs)}); err != nil {
+		return
+	}
+	flush()
+
+	// The result channel is buffered to the whole batch so pool workers and
+	// the cache-lookup goroutine below can always deliver without blocking,
+	// even after this handler has given up on the client.
+	results := make(chan StreamPoint, len(jobs))
+	go func() {
+		for _, j := range jobs {
+			if s.cache != nil {
+				if e, ok := s.cache.Get(j.Key()); ok {
+					results <- toWire(j, j.FromEntry(e), true)
+					continue
+				}
+			}
+			select {
+			case s.queue <- task{ctx: ctx, job: j, out: results}:
+			case <-ctx.Done():
+				return
+			case <-s.quit:
+				return
+			}
+		}
+	}()
+
+	var t Trailer
+	t.CacheEnabled = s.cache != nil
+	for seen := 0; seen < len(jobs); seen++ {
+		select {
+		case sp := <-results:
+			if sp.CacheHit {
+				t.CacheHits++
+			} else {
+				t.CacheMisses++
+			}
+			if sp.Err != "" {
+				t.Errors++
+			}
+			if err := enc.Encode(sp); err != nil {
+				return // client gone; ctx cancellation reaps queued jobs
+			}
+			flush()
+		case <-ctx.Done():
+			return
+		case <-s.quit:
+			return
+		}
+	}
+	t.Done = true
+	t.Points = len(jobs)
+	t.ElapsedNS = int64(time.Since(start))
+	if err := enc.Encode(t); err != nil {
+		return
+	}
+	flush()
+}
+
+// handleHealth implements PathHealth.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// statsReply is the PathStats body.
+type statsReply struct {
+	Workers int          `json:"workers"`
+	Cache   *cache.Stats `json:"cache,omitempty"`
+}
+
+// handleStats implements PathStats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	reply := statsReply{Workers: s.cfg.Workers}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		reply.Cache = &st
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(reply)
+}

@@ -1,0 +1,47 @@
+package studysvc
+
+import (
+	"context"
+
+	"daosim/internal/core"
+)
+
+// Worker executes point jobs on behalf of the server's scheduler. The
+// server owns a bounded pool of Worker instances and feeds each from one
+// shared queue, so an implementation may hold per-slot state (a remote
+// connection, a pinned accelerator) without locking. RunPoint must honor
+// ctx: when the submitting client is gone the scheduler stops caring about
+// the result, and a well-behaved worker returns promptly (a local simulation
+// that is already running may finish — points are short — but a remote
+// worker should propagate the cancellation).
+//
+// The interface is deliberately the minimal seam for a remote worker fleet:
+// a future RemoteWorker only has to ship the core.PointJob to a peer daosd
+// and return the streamed core.Point; everything else (sharding, caching,
+// ordering, reassembly) already lives on either side of it.
+type Worker interface {
+	RunPoint(ctx context.Context, j core.PointJob) core.Point
+}
+
+// LocalWorker simulates points in-process, the same execution path as
+// core.Runner (core.PointJob.Execute), so results through the server are
+// byte-identical to direct runs.
+type LocalWorker struct{}
+
+// RunPoint implements Worker.
+func (LocalWorker) RunPoint(ctx context.Context, j core.PointJob) core.Point {
+	if err := ctx.Err(); err != nil {
+		return canceledPoint(j)
+	}
+	return j.Execute()
+}
+
+// canceledPoint fills a job's result slot when its submission was abandoned
+// before the point ran.
+func canceledPoint(j core.PointJob) core.Point {
+	return core.Point{
+		Nodes: j.Nodes,
+		Ranks: j.Nodes * j.Cfg.PPN,
+		Err:   "studysvc: submission canceled before the point ran",
+	}
+}
