@@ -10,6 +10,18 @@
 //	    go run ./cmd/benchjson -label after -out BENCH_kernel.json
 //
 // Without -out the merged ledger is written to stdout.
+//
+// With -diff, benchjson instead compares two recorded runs and prints the
+// per-benchmark deltas:
+//
+//	benchjson -diff BENCH_kernel.json:after fresh.json:ci -threshold 25
+//
+// Each operand is a ledger file with an optional :label suffix (required
+// when the ledger holds more than one run). A benchmark regresses when its
+// ns/op grows by more than -threshold percent, or its allocs/op or B/op
+// grow at all; any regression makes benchjson exit with status 1, the gate
+// for local before/after checks (CI uses it report-only, since shared
+// runners jitter).
 package main
 
 import (
@@ -20,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -101,7 +114,13 @@ func parse(r io.Reader) (Run, error) {
 			run.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 			continue
 		case strings.HasPrefix(line, "pkg:"):
-			run.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			// Concatenated multi-package output lists every package.
+			pkg := strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			if run.Pkg == "" {
+				run.Pkg = pkg
+			} else if !strings.Contains(" "+run.Pkg+" ", " "+pkg+" ") {
+				run.Pkg += " " + pkg
+			}
 			continue
 		case strings.HasPrefix(line, "cpu:"):
 			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
@@ -173,10 +192,126 @@ func merge(path, label string, run Run) (Ledger, error) {
 	return ledger, nil
 }
 
+// loadRun reads a ledger operand of the form path[:label] and returns the
+// selected run. Without a label the ledger must hold exactly one run.
+func loadRun(ref string) (Run, error) {
+	path, label := ref, ""
+	if i := strings.LastIndexByte(ref, ':'); i > 0 {
+		path, label = ref[:i], ref[i+1:]
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Run{}, fmt.Errorf("benchjson: %w", err)
+	}
+	var ledger Ledger
+	if err := json.Unmarshal(data, &ledger); err != nil {
+		return Run{}, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	if label == "" {
+		if len(ledger.Runs) != 1 {
+			labels := make([]string, 0, len(ledger.Runs))
+			for l := range ledger.Runs {
+				labels = append(labels, l)
+			}
+			sort.Strings(labels)
+			return Run{}, fmt.Errorf("benchjson: %s holds %d runs (%s); pick one with %s:<label>",
+				path, len(ledger.Runs), strings.Join(labels, ", "), path)
+		}
+		for l := range ledger.Runs {
+			label = l
+		}
+	}
+	run, ok := ledger.Runs[label]
+	if !ok {
+		return Run{}, fmt.Errorf("benchjson: %s has no run labelled %q", path, label)
+	}
+	return run, nil
+}
+
+// pct formats a relative change as a signed percentage.
+func pct(old, new float64) string {
+	if old == 0 {
+		return "     n/a"
+	}
+	return fmt.Sprintf("%+7.1f%%", (new-old)/old*100)
+}
+
+// diff prints per-benchmark deltas between two runs and reports whether any
+// benchmark regressed: ns/op grew by more than threshold percent, or
+// allocs/op or B/op grew at all. Benchmarks present on only one side are
+// listed but never count as regressions.
+func diff(w io.Writer, old, new Run, threshold float64) bool {
+	names := make([]string, 0, len(old.Benchmarks))
+	for name := range old.Benchmarks {
+		names = append(names, name)
+	}
+	for name := range new.Benchmarks {
+		if _, ok := old.Benchmarks[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	regressed := false
+	fmt.Fprintf(w, "%-36s %12s %12s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		o, haveOld := old.Benchmarks[name]
+		n, haveNew := new.Benchmarks[name]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(w, "%-36s %12s %12.4g %9s  (new)\n", name, "-", n.NsPerOp, "")
+		case !haveNew:
+			fmt.Fprintf(w, "%-36s %12.4g %12s %9s  (gone)\n", name, o.NsPerOp, "-", "")
+		default:
+			var notes []string
+			if o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(1+threshold/100) {
+				notes = append(notes, fmt.Sprintf("REGRESSION: ns/op +%.1f%% > %.0f%%", (n.NsPerOp-o.NsPerOp)/o.NsPerOp*100, threshold))
+				regressed = true
+			}
+			if n.AllocsPerOp > o.AllocsPerOp {
+				notes = append(notes, fmt.Sprintf("REGRESSION: allocs/op %g -> %g", o.AllocsPerOp, n.AllocsPerOp))
+				regressed = true
+			}
+			if n.BytesPerOp > o.BytesPerOp {
+				notes = append(notes, fmt.Sprintf("REGRESSION: B/op %g -> %g", o.BytesPerOp, n.BytesPerOp))
+				regressed = true
+			}
+			suffix := ""
+			if len(notes) > 0 {
+				suffix = "  " + strings.Join(notes, "; ")
+			}
+			fmt.Fprintf(w, "%-36s %12.4g %12.4g %9s%s\n", name, o.NsPerOp, n.NsPerOp, pct(o.NsPerOp, n.NsPerOp), suffix)
+		}
+	}
+	return regressed
+}
+
 func main() {
 	out := flag.String("out", "", "ledger file to merge into (default: write to stdout)")
 	label := flag.String("label", "run", "label to record this run under")
+	diffMode := flag.Bool("diff", false, "compare two recorded runs: benchjson -diff old.json[:label] new.json[:label]")
+	threshold := flag.Float64("threshold", 20, "with -diff, ns/op regression tolerance in percent")
 	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two operands: old.json[:label] new.json[:label]")
+			os.Exit(2)
+		}
+		oldRun, err := loadRun(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		newRun, err := loadRun(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if diff(os.Stdout, oldRun, newRun, *threshold) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	run, err := parse(os.Stdin)
 	if err != nil {

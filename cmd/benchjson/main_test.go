@@ -130,3 +130,112 @@ func TestMergeRejectsCorruptLedger(t *testing.T) {
 		t.Fatal("corrupt ledger accepted")
 	}
 }
+
+func TestParseMultiPackage(t *testing.T) {
+	in := `pkg: daosim/internal/sim
+BenchmarkSpawn   	 10	 100.0 ns/op
+pkg: daosim/internal/core
+BenchmarkPointThroughput   	 1	 1000.0 ns/op
+`
+	run, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Pkg != "daosim/internal/sim daosim/internal/core" {
+		t.Fatalf("pkg = %q, want both packages listed", run.Pkg)
+	}
+	if len(run.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %v", run.Benchmarks)
+	}
+}
+
+// writeLedger stores runs under path for the diff tests.
+func writeLedger(t *testing.T, path string, runs map[string]Run) {
+	t.Helper()
+	data, err := json.MarshalIndent(Ledger{Runs: runs}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRun(t *testing.T) {
+	dir := t.TempDir()
+	one := filepath.Join(dir, "one.json")
+	writeLedger(t, one, map[string]Run{"ci": {Benchmarks: map[string]Result{"BenchmarkX": {NsPerOp: 5}}}})
+	two := filepath.Join(dir, "two.json")
+	writeLedger(t, two, map[string]Run{
+		"before": {Benchmarks: map[string]Result{"BenchmarkX": {NsPerOp: 10}}},
+		"after":  {Benchmarks: map[string]Result{"BenchmarkX": {NsPerOp: 7}}},
+	})
+
+	// A single-run ledger needs no label.
+	run, err := loadRun(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Benchmarks["BenchmarkX"].NsPerOp != 5 {
+		t.Fatalf("wrong run loaded: %+v", run)
+	}
+	// A multi-run ledger requires an explicit label.
+	if _, err := loadRun(two); err == nil {
+		t.Fatal("ambiguous ledger accepted without a label")
+	}
+	run, err = loadRun(two + ":after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Benchmarks["BenchmarkX"].NsPerOp != 7 {
+		t.Fatalf("label not honored: %+v", run)
+	}
+	if _, err := loadRun(two + ":bogus"); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+	if _, err := loadRun(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestDiffDetectsRegressions(t *testing.T) {
+	old := Run{Benchmarks: map[string]Result{
+		"BenchmarkFast":    {NsPerOp: 100},
+		"BenchmarkAllocs":  {NsPerOp: 100, AllocsPerOp: 0, BytesPerOp: 0},
+		"BenchmarkRemoved": {NsPerOp: 50},
+		"BenchmarkStable":  {NsPerOp: 100},
+	}}
+	new := Run{Benchmarks: map[string]Result{
+		"BenchmarkFast":   {NsPerOp: 150},                                // +50% ns/op: regression at threshold 20
+		"BenchmarkAllocs": {NsPerOp: 90, AllocsPerOp: 1, BytesPerOp: 16}, // alloc growth: regression
+		"BenchmarkAdded":  {NsPerOp: 10},
+		"BenchmarkStable": {NsPerOp: 110}, // +10%: inside threshold
+	}}
+	var b strings.Builder
+	if !diff(&b, old, new, 20) {
+		t.Fatal("regressions not detected")
+	}
+	out := b.String()
+	for _, want := range []string{
+		"REGRESSION: ns/op +50.0%",
+		"REGRESSION: allocs/op 0 -> 1",
+		"REGRESSION: B/op 0 -> 16",
+		"(new)",
+		"(gone)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "BenchmarkStable  ") && strings.Contains(out, "BenchmarkStable") && strings.Contains(out, "REGRESSION: ns/op +10") {
+		t.Fatalf("within-threshold delta flagged:\n%s", out)
+	}
+
+	// The same pair inside a wider tolerance and without alloc growth is
+	// clean.
+	clean := Run{Benchmarks: map[string]Result{"BenchmarkFast": {NsPerOp: 110}}}
+	b.Reset()
+	if diff(&b, Run{Benchmarks: map[string]Result{"BenchmarkFast": {NsPerOp: 100}}}, clean, 20) {
+		t.Fatalf("clean diff reported a regression:\n%s", b.String())
+	}
+}

@@ -119,7 +119,7 @@ func RunFigures(o Options, fig int, out io.Writer) (string, error) {
 			return csv, err
 		}
 		fmt.Fprintln(out, Render("Figure 1: IOR file-per-process (easy)", easy))
-		fmt.Fprintf(out, "(swept in %v wall-clock)\n\n", easy.Elapsed)
+		fmt.Fprintf(out, "%s\n\n", sweepLine(easy))
 		fmt.Fprintln(out, "Paper claims, checked:")
 		fmt.Fprintln(out, RenderClaims(easy.CheckEasyClaims()))
 		csv += easy.CSV()
@@ -129,7 +129,7 @@ func RunFigures(o Options, fig int, out io.Writer) (string, error) {
 			return csv, err
 		}
 		fmt.Fprintln(out, Render("Figure 2: IOR shared-file (hard)", hard))
-		fmt.Fprintf(out, "(swept in %v wall-clock)\n\n", hard.Elapsed)
+		fmt.Fprintf(out, "%s\n\n", sweepLine(hard))
 		fmt.Fprintln(out, "Paper claims, checked:")
 		fmt.Fprintln(out, RenderClaims(hard.CheckHardClaims()))
 		csv += hard.CSV()
@@ -139,6 +139,18 @@ func RunFigures(o Options, fig int, out io.Writer) (string, error) {
 		fmt.Fprintln(out, RenderClaims(core.CheckCrossClaims(easy, hard)))
 	}
 	return csv, nil
+}
+
+// sweepLine renders a study's wall-clock summary with sweep throughput, so
+// points/sec is visible on every figures/studyctl run, not just in
+// microbenchmark ledgers. (Wall-clock depends on the host; it never appears
+// in tables or CSV.)
+func sweepLine(st *core.Study) string {
+	n := st.NumPoints()
+	if secs := st.Elapsed.Seconds(); secs > 0 && n > 0 {
+		return fmt.Sprintf("(swept %d points in %v wall-clock, %.1f points/s)", n, st.Elapsed, float64(n)/secs)
+	}
+	return fmt.Sprintf("(swept %d points in %v wall-clock)", n, st.Elapsed)
 }
 
 // WriteCSV dumps a RunFigures CSV accumulation to path (a no-op when path

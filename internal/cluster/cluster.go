@@ -79,9 +79,17 @@ type Testbed struct {
 	pmap *placement.PoolMap
 }
 
-// New builds and boots a testbed, waiting until the pool service is ready.
+// New builds and boots a testbed on a fresh simulator, waiting until the
+// pool service is ready.
 func New(cfg Config) *Testbed {
-	s := sim.New(cfg.Seed)
+	return NewOn(sim.New(cfg.Seed), cfg)
+}
+
+// NewOn builds and boots a testbed on an existing simulator — typically one
+// recycled across points through a sim.Arena, already seeded by the caller.
+// The testbed's behavior is byte-identical on a fresh and a recycled
+// simulator; that is the Arena's contract.
+func NewOn(s *sim.Sim, cfg Config) *Testbed {
 	f := fabric.New(s, cfg.Fabric)
 	tb := &Testbed{Cfg: cfg, Sim: s, Fabric: f}
 

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+)
+
+// quickFigure1 is the reduced Figure 1 grid (bench.Quick scale): the five
+// easy-workload variants over the {1, 4} node sweep — ten points per run,
+// the unit the whole-sweep throughput benchmarks are quoted in.
+func quickFigure1() Config {
+	return Config{
+		Workload: "easy",
+		Nodes:    []int{1, 4},
+		Variants: EasyVariants(),
+	}
+}
+
+// reportPointRates attaches the sweep-level metrics the ledger tracks:
+// host-nanoseconds per simulated point and points per second.
+func reportPointRates(b *testing.B, points int) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*points), "ns/point")
+	b.ReportMetric(float64(b.N*points)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkPointThroughput measures whole-point cost through the production
+// path: core.Runner.RunAll over the Quick Figure 1 grid, one worker (so the
+// number is per-core and machine-size independent). The runner's pool
+// workers reuse kernel state across consecutive points, so this is the
+// reused-arena number.
+func BenchmarkPointThroughput(b *testing.B) {
+	cfgs := []Config{quickFigure1()}
+	_, jobs := Decompose(cfgs)
+	r := &Runner{Parallelism: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RunAll(cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportPointRates(b, len(jobs))
+}
+
+// BenchmarkPointThroughputCold measures the same grid with a cold start for
+// every point — each PointJob.Execute builds its simulator from nothing —
+// isolating what cross-point kernel state reuse saves.
+func BenchmarkPointThroughputCold(b *testing.B) {
+	studies, jobs := Decompose([]Config{quickFigure1()})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range jobs {
+			studies[j.Study].Series[j.Series].Points[j.Index] = j.Execute()
+		}
+	}
+	b.StopTimer()
+	for _, st := range studies {
+		for _, s := range st.Series {
+			for _, pt := range s.Points {
+				if pt.Err != "" {
+					b.Fatalf("point failed: %s", pt.Err)
+				}
+			}
+		}
+	}
+	reportPointRates(b, len(jobs))
+}

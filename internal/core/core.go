@@ -105,6 +105,15 @@ type Study struct {
 	Elapsed time.Duration
 }
 
+// NumPoints returns the number of sweep points in the study's grid.
+func (st *Study) NumPoints() int {
+	n := 0
+	for _, s := range st.Series {
+		n += len(s.Points)
+	}
+	return n
+}
+
 // Defaults fills zero fields with the paper-scaled geometry.
 func (c *Config) Defaults() {
 	if c.Workload == "" {
@@ -168,10 +177,17 @@ func Run(cfg Config) (*Study, error) {
 }
 
 // runPoint measures one (variant, nodes) cell on a testbed seeded with the
-// point's derived seed.
-func runPoint(cfg Config, v Variant, nodes int, seed uint64) (Point, error) {
+// point's derived seed. With a non-nil arena the testbed's simulation
+// kernel is recycled from the arena's previous point instead of built from
+// nothing; measured results are byte-identical either way.
+func runPoint(cfg Config, v Variant, nodes int, seed uint64, arena *sim.Arena) (Point, error) {
 	cfg.Testbed.Seed = seed
-	tb := cluster.New(cfg.Testbed)
+	var tb *cluster.Testbed
+	if arena == nil {
+		tb = cluster.New(cfg.Testbed)
+	} else {
+		tb = cluster.NewOn(arena.Get(seed), cfg.Testbed)
+	}
 	// Shut the testbed down when the point is done: server event loops exit
 	// and the garbage collector can reclaim the point's data; otherwise a
 	// long sweep accumulates every point's working set.

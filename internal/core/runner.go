@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"daosim/internal/cache"
+	"daosim/internal/sim"
 )
 
 // StudyRunner executes batches of study sweeps. Runner is the in-process
@@ -98,13 +99,22 @@ func Decompose(cfgs []Config) ([]*Study, []PointJob) {
 	return studies, jobs
 }
 
-// Execute simulates the job's point and returns it with grid coordinates,
-// wall-clock, and any failure filled in. It is a pure function of the job:
-// two executions of the same job — in this process or another — return
-// Points with identical measured fields.
-func (j PointJob) Execute() Point {
+// Execute simulates the job's point on a cold kernel and returns it with
+// grid coordinates, wall-clock, and any failure filled in. It is a pure
+// function of the job: two executions of the same job — in this process or
+// another — return Points with identical measured fields.
+func (j PointJob) Execute() Point { return j.ExecuteIn(nil) }
+
+// ExecuteIn is Execute with the point's simulation kernel drawn from arena:
+// consecutive calls on one arena reuse the event-heap storage, event and
+// flow pools, RNG, and process-goroutine arena of the previous point
+// instead of rebuilding them. A nil arena builds a cold kernel. Measured
+// fields are byte-identical on every path — the executor owning a long-
+// lived worker (the Runner's pool, a studysvc worker slot) holds one arena
+// per worker for its lifetime.
+func (j PointJob) ExecuteIn(arena *sim.Arena) Point {
 	t0 := time.Now()
-	pt, err := runPoint(j.Cfg, j.Variant, j.Nodes, j.Seed)
+	pt, err := runPoint(j.Cfg, j.Variant, j.Nodes, j.Seed, arena)
 	pt.Nodes = j.Nodes
 	pt.Ranks = j.Nodes * j.Cfg.PPN
 	pt.Elapsed = time.Since(t0)
@@ -176,21 +186,34 @@ func (r *Runner) RunAll(cfgs []Config) ([]*Study, error) {
 		workers = len(jobs)
 	}
 
+	// One kernel arena per pool worker, held for the whole batch: each
+	// worker executes its points serially on recycled kernel state (event
+	// heap, pools, process goroutines) instead of rebuilding a Sim per
+	// point. Results are unaffected — point seeds, not execution state,
+	// determine every measured number — and the arenas drain before RunAll
+	// returns, so repeated batches leave no goroutines behind.
+	arenas := make([]*sim.Arena, workers)
+	for i := range arenas {
+		arenas[i] = sim.NewArena()
+	}
 	start := time.Now()
-	mapN(workers, len(jobs), func(i int) {
+	mapN(workers, len(jobs), func(w, i int) {
 		j := jobs[i]
 		// Each job owns a distinct Points slot, so no locking.
-		studies[j.Study].Series[j.Series].Points[j.Index] = r.runJob(j)
+		studies[j.Study].Series[j.Series].Points[j.Index] = r.runJob(arenas[w], j)
 	})
+	for _, a := range arenas {
+		a.Drain()
+	}
 	return studies, Finish(studies, time.Since(start))
 }
 
-// runJob measures one sweep point, consulting the Runner's cache first. On
-// a miss the simulated result is stored so later sweeps over the same
-// configuration replay it.
-func (r *Runner) runJob(j PointJob) Point {
+// runJob measures one sweep point on the worker's arena, consulting the
+// Runner's cache first. On a miss the simulated result is stored so later
+// sweeps over the same configuration replay it.
+func (r *Runner) runJob(arena *sim.Arena, j PointJob) Point {
 	if r.Cache == nil {
-		return j.Execute()
+		return j.ExecuteIn(arena)
 	}
 	t0 := time.Now()
 	k := j.Key()
@@ -199,7 +222,7 @@ func (r *Runner) runJob(j PointJob) Point {
 		pt.Elapsed = time.Since(t0)
 		return pt
 	}
-	pt := j.Execute()
+	pt := j.ExecuteIn(arena)
 	if pt.Err == "" {
 		r.Cache.Put(k, pt.CacheEntry())
 	}
@@ -217,13 +240,15 @@ func (r *Runner) Map(n int, fn func(i int) error) error {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	errs := make([]error, n)
-	mapN(workers, n, func(i int) { errs[i] = fn(i) })
+	mapN(workers, n, func(_, i int) { errs[i] = fn(i) })
 	return errors.Join(errs...)
 }
 
-// mapN runs fn(0..n-1) on a pool of at most workers goroutines and waits for
-// all of them.
-func mapN(workers, n int, fn func(i int)) {
+// mapN runs fn(0..n-1) on a pool of at most workers goroutines and waits
+// for all of them. fn additionally receives the index of the pool worker
+// running it, so callers can give each worker private reusable state (the
+// Runner's kernel arenas) without locking.
+func mapN(workers, n int, fn func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
@@ -231,12 +256,12 @@ func mapN(workers, n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range ch {
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		ch <- i

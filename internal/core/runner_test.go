@@ -1,8 +1,10 @@
 package core
 
 import (
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"daosim/internal/ior"
 	"daosim/internal/placement"
@@ -162,6 +164,62 @@ func TestDecomposeGrid(t *testing.T) {
 	}
 	if len(seen) != want {
 		t.Fatalf("slots covered = %d, want %d", len(seen), want)
+	}
+}
+
+// TestArenaMatchesColdExecution is the cross-point reuse contract: a sweep
+// on the Runner's per-worker kernel arenas must render byte-identical
+// output to executing every job on a cold kernel. Two variants and two
+// node counts give each arena several consecutive points to contaminate —
+// any RNG, pool, or heap state leaking across Sim.Reset shows up here as
+// a CSV diff.
+func TestArenaMatchesColdExecution(t *testing.T) {
+	variants := []Variant{
+		{Label: "daos S2", API: ior.APIDFS, Class: placement.S2},
+		{Label: "daos SX", API: ior.APIDFS, Class: placement.SX},
+	}
+	cfg := tinyConfig("easy", variants)
+	cfg.Parallelism = 1 // one worker arena executes every point in sequence
+
+	warm, err := (&Runner{Parallelism: 1}).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, jobs := Decompose([]Config{cfg})
+	for _, j := range jobs {
+		cold[j.Study].Series[j.Series].Points[j.Index] = j.Execute()
+	}
+	if warm.CSV() != cold[0].CSV() {
+		t.Fatalf("arena sweep diverged from cold execution:\n--- arena ---\n%s--- cold ---\n%s", warm.CSV(), cold[0].CSV())
+	}
+}
+
+// TestRunAllNoGoroutineLeak pins that the Runner's worker arenas drain
+// before RunAll returns: repeated sweeps must not grow the process's
+// goroutine count (each point spawns hundreds of simulated processes; a
+// leak of even one per point fails this quickly).
+func TestRunAllNoGoroutineLeak(t *testing.T) {
+	cfg := tinyConfig("easy", []Variant{{Label: "daos S2", API: ior.APIDFS, Class: placement.S2}})
+	r := &Runner{Parallelism: 2}
+	// Warm-up run so lazily-created runtime goroutines settle into the
+	// baseline.
+	if _, err := r.RunAll([]Config{cfg}); err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		if _, err := r.RunAll([]Config{cfg}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines leaked across RunAll: baseline %d, now %d\n%s",
+			baseline, n, buf[:runtime.Stack(buf, true)])
 	}
 }
 

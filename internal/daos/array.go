@@ -94,6 +94,14 @@ func (a *Array) ReadAt(p *sim.Proc, off int64, n int64, epoch vos.Epoch) ([]byte
 	if err != nil {
 		return nil, err
 	}
+	// A read inside one chunk needs no assembly: the fetched piece is a
+	// fresh length-n buffer owned by this call (the engine materializes it
+	// per fetch), so hand it straight back. Chunk-aligned segment reads —
+	// the FUSE request size equals the default chunk size — all take this
+	// path, skipping a buffer zeroing and a copy of every byte.
+	if len(spans) == 1 && data[0] != nil {
+		return data[0], nil
+	}
 	buf := make([]byte, n)
 	for i, sp := range spans {
 		if data[i] != nil {

@@ -95,7 +95,41 @@ func BenchmarkResourceContention(b *testing.B) {
 			}
 		})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
+	s.Run()
+}
+
+func BenchmarkResourceUncontended(b *testing.B) {
+	// A lone process cycling acquire/hold/release on an idle resource: both
+	// the acquire and the release must complete inline (no event, no ready
+	// queue, no park), and the 1µs hold rides the Sleep fast path.
+	s := New(1)
+	r := NewResource(s, "xs", 1)
+	n := b.N
+	s.Spawn("w", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			r.Use(p, time.Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run()
+}
+
+func BenchmarkSpawn(b *testing.B) {
+	// Process churn: spawn waves of trivial processes and drain them. This is
+	// the lifecycle cost a study point pays for every simulated client op
+	// (goroutine creation, first handoff, exit) amortized per process.
+	s := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Spawn("p", func(p *Proc) {})
+		if i%256 == 255 {
+			s.Run()
+		}
+	}
 	s.Run()
 }
 

@@ -61,30 +61,44 @@ func mixedWorkload(s *Sim) *[]string {
 }
 
 // TestFastPathMatchesSlowPath is the kernel regression contract for the
-// inline Sleep fast path: with the fast path disabled (every Sleep parks and
-// round-trips through the scheduler) the same mixed workload must observe
-// the identical (time, order) trace.
+// inline fast paths: with them disabled (every Sleep and uncontended
+// Transfer parks and round-trips through the scheduler) the same mixed
+// workload must observe the identical (time, order) trace. The contract
+// extends to the arena paths: the workload re-run on a Reset (arena-reused)
+// simulator must produce that same trace again, fast and slow.
 func TestFastPathMatchesSlowPath(t *testing.T) {
-	run := func(noFastPath bool) (trail []string, end time.Duration) {
-		s := New(7)
+	fastSim, slowSim := New(7), New(7)
+	run := func(s *Sim, noFastPath bool) (trail []string, end time.Duration) {
 		s.noFastPath = noFastPath
 		trace := mixedWorkload(s)
 		end = s.Run()
 		return *trace, end
 	}
-	fast, fastEnd := run(false)
-	slow, slowEnd := run(true)
-	if fastEnd != slowEnd {
-		t.Fatalf("end time diverged: fast %v, slow %v", fastEnd, slowEnd)
-	}
-	if len(fast) != len(slow) {
-		t.Fatalf("trace length diverged: fast %d, slow %d\nfast: %v\nslow: %v", len(fast), len(slow), fast, slow)
-	}
-	for i := range fast {
-		if fast[i] != slow[i] {
-			t.Fatalf("trace diverged at step %d: fast %q, slow %q", i, fast[i], slow[i])
+	fast, fastEnd := run(fastSim, false)
+	check := func(name string, got []string, gotEnd time.Duration) {
+		t.Helper()
+		if gotEnd != fastEnd {
+			t.Fatalf("%s: end time diverged: %v vs %v", name, gotEnd, fastEnd)
+		}
+		if len(got) != len(fast) {
+			t.Fatalf("%s: trace length diverged: %d vs %d\ngot:  %v\nwant: %v", name, len(got), len(fast), got, fast)
+		}
+		for i := range fast {
+			if got[i] != fast[i] {
+				t.Fatalf("%s: trace diverged at step %d: %q vs %q", name, i, got[i], fast[i])
+			}
 		}
 	}
+	slow, slowEnd := run(slowSim, true)
+	check("slow path", slow, slowEnd)
+	// Arena paths: the same simulators — now dirty with a full workload —
+	// rewound by Reset must reproduce the trace exactly, fast and slow.
+	fastSim.Reset(7)
+	reusedFast, reusedFastEnd := run(fastSim, false)
+	check("reused arena, fast path", reusedFast, reusedFastEnd)
+	slowSim.Reset(7)
+	reusedSlow, reusedSlowEnd := run(slowSim, true)
+	check("reused arena, slow path", reusedSlow, reusedSlowEnd)
 }
 
 // TestMixedWorkloadDeterministic verifies the reworked kernel still fires a

@@ -4,11 +4,15 @@ package sim
 // playing the role Go channels play for real goroutines. Receivers block in
 // arrival order when the queue is empty; senders never block. It is the
 // mailbox primitive used by the Raft nodes and RPC dispatchers.
+//
+// Both the message buffer and the receiver line are compacting head-indexed
+// fifos, so a long-lived mailbox settles into zero steady-state allocation
+// even when it never fully drains.
 type Queue struct {
 	sim     *Sim
 	name    string
-	items   []interface{}
-	waiters []*Proc
+	items   fifo[interface{}]
+	waiters fifo[*Proc]
 	closed  bool
 }
 
@@ -23,39 +27,31 @@ func (q *Queue) Send(v interface{}) {
 	if q.closed {
 		panic("sim: send on closed queue " + q.name)
 	}
-	q.items = append(q.items, v)
-	if len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		q.sim.unpark(w)
+	q.items.Push(v)
+	if q.waiters.Len() > 0 {
+		q.sim.unpark(q.waiters.Pop())
 	}
 }
 
 // Recv dequeues the oldest message, blocking p until one is available. The
 // second result is false if the queue was closed and drained.
 func (q *Queue) Recv(p *Proc) (interface{}, bool) {
-	for len(q.items) == 0 {
+	for q.items.Len() == 0 {
 		if q.closed {
 			return nil, false
 		}
-		q.waiters = append(q.waiters, p)
+		q.waiters.Push(p)
 		p.ParkIdle() // idle, not deadlocked: server loops legitimately wait here
 	}
-	v := q.items[0]
-	q.items[0] = nil
-	q.items = q.items[1:]
-	return v, true
+	return q.items.Pop(), true
 }
 
 // TryRecv dequeues without blocking; ok is false when empty.
 func (q *Queue) TryRecv() (v interface{}, ok bool) {
-	if len(q.items) == 0 {
+	if q.items.Len() == 0 {
 		return nil, false
 	}
-	v = q.items[0]
-	q.items[0] = nil
-	q.items = q.items[1:]
-	return v, true
+	return q.items.Pop(), true
 }
 
 // Close marks the queue closed and wakes every blocked receiver so it can
@@ -65,11 +61,10 @@ func (q *Queue) Close() {
 		return
 	}
 	q.closed = true
-	for _, w := range q.waiters {
-		q.sim.unpark(w)
+	for q.waiters.Len() > 0 {
+		q.sim.unpark(q.waiters.Pop())
 	}
-	q.waiters = nil
 }
 
 // Len returns the number of queued messages.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return q.items.Len() }

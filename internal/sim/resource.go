@@ -14,7 +14,12 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  []*Proc
+
+	// waiters queue processes blocked in Acquire, FIFO. The compacting
+	// fifo keeps one backing array for the resource's lifetime — the old
+	// append/[1:] pattern reallocated it every few operations, the steady
+	// 16 B/op heap spill BenchmarkResourceContention used to carry.
+	waiters fifo[*Proc]
 
 	// Busy accumulates capacity-seconds of use for utilisation reporting.
 	busy     time.Duration
@@ -41,33 +46,39 @@ func (r *Resource) account() {
 }
 
 // Acquire takes one unit of the resource, blocking p FIFO if none is free.
+// Acquiring below capacity is entirely inline: a branch and two counter
+// updates, no event, no parking.
 func (r *Resource) Acquire(p *Proc) {
 	if r.inUse < r.capacity {
 		r.account()
 		r.inUse++
 		return
 	}
-	r.waiters = append(r.waiters, p)
-	if len(r.waiters) > r.MaxQueue {
-		r.MaxQueue = len(r.waiters)
+	r.waiters.Push(p)
+	if q := r.waiters.Len(); q > r.MaxQueue {
+		r.MaxQueue = q
 	}
 	p.park()
 }
 
-// Release returns one unit. If processes are queued the head inherits the
-// unit directly, preserving FIFO order.
+// Release returns one unit. With nobody queued this is the inline fast
+// path, mirroring the Sleep/Transfer fast paths but unconditional: an
+// uncontended release can neither wake nor reorder anything, so it skips
+// the ready queue and the event heap entirely and costs a branch and two
+// counter updates. If processes are queued the head inherits the unit
+// directly, preserving FIFO order — its resumption enqueues on the
+// same-instant ready-run queue and fires when the releasing process next
+// yields, exactly as a heap event would, at O(1) and zero allocation.
 func (r *Resource) Release() {
-	if r.inUse <= 0 {
-		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
-	}
-	if len(r.waiters) > 0 {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
-		r.sim.unpark(w) // the unit passes to w; inUse unchanged
+	if r.waiters.Len() == 0 {
+		if r.inUse <= 0 {
+			panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
+		}
+		r.account()
+		r.inUse--
 		return
 	}
-	r.account()
-	r.inUse--
+	r.sim.unpark(r.waiters.Pop()) // the unit passes to the head; inUse unchanged
 }
 
 // Use runs the resource for d: acquire, hold for d, release.

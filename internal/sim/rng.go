@@ -12,10 +12,18 @@ type RNG struct {
 // NewRNG returns a generator seeded with seed (zero is remapped, since the
 // xorshift state must be nonzero).
 func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed rewinds the generator to the state NewRNG(seed) starts from,
+// applying the same zero remap.
+func (r *RNG) Seed(seed uint64) {
 	if seed == 0 {
 		seed = 0x9E3779B97F4A7C15
 	}
-	return &RNG{state: seed}
+	r.state = seed
 }
 
 // Uint64 returns the next 64 pseudo-random bits.

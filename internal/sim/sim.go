@@ -40,6 +40,21 @@
 //     instead of N heap push/pop round trips. Entries carry the sequence
 //     number they would have been stamped with, so firing order is exactly
 //     that of the heap-event formulation.
+//
+//   - Process goroutines come from a per-Sim arena. A finished process
+//     body parks its goroutine (and its Proc shell and wake channel) on a
+//     free stack instead of exiting, and the next Spawn revives it with a
+//     single token send — no goroutine or stack creation, no allocation.
+//     The control token passes through one-slot buffered channels, so a
+//     handoff never blocks the sender: the waker deposits the token and
+//     proceeds straight to its own park, one blocking channel op per
+//     park/resume cycle instead of a send rendezvous plus a receive (and
+//     the buffer is what lets a finishing goroutine's own dispatch drive
+//     revive that same goroutine for a pending spawn). Sim.Reset rewinds a
+//     drained simulator to its post-New state while keeping the arena, the
+//     event and flow pools, and the heap and ready-queue storage, so a
+//     sweep can run thousands of simulations on one kernel's allocations
+//     (see Arena).
 package sim
 
 import (
@@ -76,6 +91,15 @@ type Sim struct {
 	parked   int           // processes blocked on a resource/queue (no pending event)
 	rng      *RNG
 
+	// idle is the goroutine arena's free stack: Proc shells whose
+	// goroutines finished a body and parked awaiting reuse. nworkers counts
+	// every arena goroutine ever started and not yet drained (idle + live),
+	// bounding the arena for leak checks. drainAck, set only inside Drain,
+	// is where exiting workers acknowledge their shutdown token.
+	idle     []*Proc
+	nworkers int
+	drainAck chan struct{}
+
 	// limit is the horizon of the innermost Run/RunUntil drive; the Sleep
 	// fast path must not advance time past it.
 	limit time.Duration
@@ -104,7 +128,10 @@ func (s *Sim) RNG() *RNG { return s.rng }
 // event is a scheduled occurrence. Events with equal times fire in insertion
 // order, which keeps runs reproducible. Exactly one of fire, proc, spawn, or
 // bw is set: fire is a generic callback, proc wakes a parked process, spawn
-// starts a new process, and bw checks a SharedBW completion (gen guards
+// starts a new process (the event carries the body and name; the process
+// draws its goroutine from the arena only when the event fires, so a batch
+// of pre-scheduled future processes reuses the goroutines of the ones that
+// finished before them), and bw checks a SharedBW completion (gen guards
 // against stale, superseded completions). Events are pooled: once popped
 // they are reset and recycled, so no component may retain a popped event.
 type event struct {
@@ -112,7 +139,8 @@ type event struct {
 	seq   uint64
 	fire  func()
 	proc  *Proc
-	spawn *Proc
+	spawn func(p *Proc)
+	sname string
 	bw    *SharedBW
 	gen   uint64
 	// idx is the event's position in the heap (-1 when unqueued); it lets
@@ -220,6 +248,7 @@ func (s *Sim) recycle(e *event) {
 	e.fire = nil
 	e.proc = nil
 	e.spawn = nil
+	e.sname = ""
 	e.bw = nil
 	e.gen = 0
 	s.free = append(s.free, e)
@@ -360,9 +389,18 @@ func (s *Sim) schedule(self *Proc) bool {
 				e.bw.complete()
 			}
 		case e.spawn != nil:
-			p := e.spawn
+			// Bind the new process to an arena goroutine now, at fire time:
+			// shells freed by processes that finished earlier in the run are
+			// on the free stack and get reused. The goroutine is already
+			// parked at its run loop's receive, and the wake channel's
+			// one-slot buffer makes the handoff safe even when the popped
+			// shell belongs to the goroutine driving this very dispatch — a
+			// finishing process immediately reincarnated deposits its own
+			// token, returns from schedule, and collects it at the loop top.
+			p := s.allocProc()
+			p.name = e.sname
+			p.body = e.spawn
 			s.recycle(e)
-			go p.run()
 			p.wake <- struct{}{}
 			return false
 		case e.fire != nil:
@@ -399,6 +437,61 @@ func (s *Sim) RunUntil(limit time.Duration) bool {
 	return len(s.queue) == 0
 }
 
+// Quiesced reports whether the simulation has fully drained: no live or
+// parked processes, no pending events, no ready resumptions. A quiesced Sim
+// may be rewound with Reset.
+func (s *Sim) Quiesced() bool {
+	return s.nproc == 0 && s.parked == 0 && len(s.queue) == 0 && s.readyLen() == 0
+}
+
+// Reset rewinds a quiesced simulator to the state New(seed) would return,
+// while keeping every allocation worth keeping: the event and flow free
+// lists, the heap and ready-queue backing arrays, and the arena of parked
+// process goroutines. A run on a Reset simulator is byte-identical to a run
+// on a fresh one — virtual time, the insertion-sequence counter, and the
+// random stream all restart from their seeds, and pooled storage carries no
+// observable state (recycled events and flows are cleared, and the heap and
+// ready backings are length-zero). Reset panics on a simulator that has not
+// quiesced: live processes cannot be rewound.
+func (s *Sim) Reset(seed uint64) {
+	if !s.Quiesced() {
+		panic(fmt.Sprintf("sim: Reset of a non-quiesced simulator: %d live, %d parked, %d events, %d ready",
+			s.nproc, s.parked, len(s.queue), s.readyLen()))
+	}
+	s.now = 0
+	s.seq = 0
+	s.limit = 0
+	s.rng.Seed(seed)
+}
+
+// Drain stops the arena's idle worker goroutines and waits for them to
+// exit. It must only be called while no simulation is being driven — the
+// natural moment is a sweep worker retiring its Sim. Live processes (a
+// non-quiesced simulator) are untouched and their goroutines are not
+// reclaimable; a later Spawn simply regrows the arena.
+func (s *Sim) Drain() {
+	k := len(s.idle)
+	if k == 0 {
+		return
+	}
+	s.drainAck = make(chan struct{})
+	for i, p := range s.idle {
+		p.wake <- struct{}{} // body == nil: the worker exits and acks
+		s.idle[i] = nil
+	}
+	s.idle = s.idle[:0]
+	for i := 0; i < k; i++ {
+		<-s.drainAck
+	}
+	s.drainAck = nil
+	s.nworkers -= k
+}
+
+// Workers returns the number of live arena goroutines (parked idle shells
+// plus running processes). It exists for leak tests: after a quiesced Sim
+// is drained it must be zero.
+func (s *Sim) Workers() int { return s.nworkers }
+
 // Proc is a handle held by a simulated process. All blocking operations
 // (Sleep, Resource.Acquire, Queue.Recv, ...) take the Proc so the kernel can
 // park and resume the goroutine.
@@ -425,24 +518,60 @@ func (s *Sim) Spawn(name string, body func(p *Proc)) {
 	s.SpawnAt(s.now, name, body)
 }
 
-// SpawnAt creates a process that begins running body at virtual time t.
+// SpawnAt creates a process that begins running body at virtual time t. The
+// process is bound to an arena goroutine — a shell recycled from a finished
+// process when one is free, a fresh goroutine otherwise — when its spawn
+// event fires, so processes scheduled for the future reuse the goroutines
+// of processes that finish before then.
 func (s *Sim) SpawnAt(t time.Duration, name string, body func(p *Proc)) {
-	p := &Proc{sim: s, name: name, wake: make(chan struct{}), body: body}
 	s.nproc++
 	e := s.alloc(t)
-	e.spawn = p
+	e.spawn = body
+	e.sname = name
 	s.queue.push(e)
 }
 
-// run is a process goroutine's lifetime: wait for the spawn handoff, execute
-// the body, then continue driving the dispatch loop with the token the body
-// was left holding.
+// allocProc takes a parked process shell from the arena's free stack, or
+// starts a fresh worker goroutine (which immediately parks at its run
+// loop's receive). Writing the shell's name and body after allocProc is
+// safe even though the worker goroutine is live: it reads them only after
+// receiving the spawn handoff, which the channel orders after the writes.
+func (s *Sim) allocProc() *Proc {
+	if n := len(s.idle); n > 0 {
+		p := s.idle[n-1]
+		s.idle[n-1] = nil
+		s.idle = s.idle[:n-1]
+		return p
+	}
+	p := &Proc{sim: s, wake: make(chan struct{}, 1)}
+	s.nworkers++
+	go p.run()
+	return p
+}
+
+// run is an arena goroutine's lifetime: for each assignment, wait for the
+// spawn handoff, execute the body, park the shell on the free stack, and
+// keep driving the dispatch loop with the token the body was left holding.
+// A handoff with no body pending is the drain signal: the goroutine exits
+// after acknowledging it.
 func (p *Proc) run() {
-	<-p.wake
-	p.body(p)
-	p.body = nil
-	p.sim.nproc--
-	p.sim.schedule(nil)
+	for {
+		<-p.wake
+		body := p.body
+		if body == nil {
+			p.sim.drainAck <- struct{}{}
+			return
+		}
+		p.body = nil
+		body(p)
+		s := p.sim
+		s.nproc--
+		// Still holding the token, so pushing the shell is exclusive; a
+		// spawn event dispatched just below may pop it right back and
+		// re-arm p.wake through its one-slot buffer.
+		s.idle = append(s.idle, p)
+		s.schedule(nil)
+	}
 }
 
 // yieldWait parks the calling process until another event resumes it. The
@@ -468,8 +597,22 @@ func (p *Proc) park() {
 // unpark schedules p to resume at the current virtual time. It enqueues on
 // the ready-run queue rather than the event heap: the resumption is stamped
 // with the sequence number a heap event would have carried, so the dispatch
-// loop fires it in the identical (time, seq) slot at O(1) cost.
+// loop fires it in the identical (time, seq) slot at O(1) cost. When the
+// backing array fills while at least half of it is drained prefix, the live
+// tail compacts to the front instead of growing, so a workload whose ready
+// queue never fully drains still settles into zero steady-state allocation.
+// This hand-inlines fifo.Push's compaction scheme (the ready queue stays
+// hand-rolled because readyFirst peeks the head on the dispatch hot path);
+// keep the two in sync.
 func (s *Sim) unpark(p *Proc) {
+	if len(s.ready) == cap(s.ready) && s.rhead > 0 && s.rhead >= cap(s.ready)/2 {
+		n := copy(s.ready, s.ready[s.rhead:])
+		for i := n; i < len(s.ready); i++ {
+			s.ready[i] = readyProc{}
+		}
+		s.ready = s.ready[:n]
+		s.rhead = 0
+	}
 	s.ready = append(s.ready, readyProc{seq: s.seq, proc: p})
 	s.seq++
 }

@@ -13,6 +13,7 @@ import (
 	"daosim/internal/cluster"
 	"daosim/internal/core"
 	"daosim/internal/ior"
+	"daosim/internal/placement"
 )
 
 // The stream tests exercise the scheduler, not the physics: they run on
@@ -188,6 +189,52 @@ func TestDisconnectMidStreamDoesNotWedgeOrLeak(t *testing.T) {
 		if time.Now().After(deadline) {
 			buf := make([]byte, 1<<20)
 			t.Fatalf("goroutines leaked after disconnect: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCloseDrainsWorkerArenas pins daosd's graceful-shutdown goroutine
+// hygiene with the real execution backend: LocalWorkers simulate points
+// (growing their kernel arenas), and Server.Close must close every pool
+// slot's worker — draining its arena goroutines — so the process returns
+// to its pre-server goroutine count. This is the in-process version of the
+// daosd SIGTERM drain.
+func TestCloseDrainsWorkerArenas(t *testing.T) {
+	tr := &http.Transport{}
+	httpc := &http.Client{Transport: tr}
+	baseline := runtime.NumGoroutine()
+
+	srv := New(Config{Workers: 2}) // default NewWorker: real LocalWorkers
+	ts := httptest.NewServer(srv)
+	client := NewClient(ts.URL)
+	client.HTTP = httpc
+	cfg := smallConfig([]core.Variant{{Label: "daos S2", API: ior.APIDFS, Class: placement.S2}})
+	studies, err := client.Submit(context.Background(), []core.Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range studies[0].Series {
+		for _, pt := range s.Points {
+			if pt.Err != "" || pt.WriteGiBs <= 0 {
+				t.Fatalf("simulated point broken: %+v", pt)
+			}
+		}
+	}
+
+	ts.Close()
+	srv.Close()
+	tr.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after Close: baseline %d, now %d\n%s",
 				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
 		}
 		time.Sleep(10 * time.Millisecond)

@@ -42,6 +42,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -87,7 +88,7 @@ func New(cfg Config) *Server {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.NewWorker == nil {
-		cfg.NewWorker = func() Worker { return LocalWorker{} }
+		cfg.NewWorker = func() Worker { return &LocalWorker{} }
 	}
 	s := &Server{
 		cfg:   cfg,
@@ -122,9 +123,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// worker drains the shared queue until shutdown.
+// worker drains the shared queue until shutdown, then releases its
+// backend's per-slot state (a LocalWorker's kernel arena, a remote
+// worker's connection) if the backend is closable.
 func (s *Server) worker(backend Worker) {
 	defer s.wg.Done()
+	defer func() {
+		if c, ok := backend.(io.Closer); ok {
+			c.Close()
+		}
+	}()
 	for {
 		select {
 		case <-s.quit:

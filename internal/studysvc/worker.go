@@ -4,16 +4,19 @@ import (
 	"context"
 
 	"daosim/internal/core"
+	"daosim/internal/sim"
 )
 
 // Worker executes point jobs on behalf of the server's scheduler. The
 // server owns a bounded pool of Worker instances and feeds each from one
-// shared queue, so an implementation may hold per-slot state (a remote
-// connection, a pinned accelerator) without locking. RunPoint must honor
-// ctx: when the submitting client is gone the scheduler stops caring about
-// the result, and a well-behaved worker returns promptly (a local simulation
-// that is already running may finish — points are short — but a remote
-// worker should propagate the cancellation).
+// shared queue, so an implementation may hold per-slot state (a kernel
+// arena, a remote connection, a pinned accelerator) without locking.
+// RunPoint must honor ctx: when the submitting client is gone the scheduler
+// stops caring about the result, and a well-behaved worker returns promptly
+// (a local simulation that is already running may finish — points are short
+// — but a remote worker should propagate the cancellation). A Worker that
+// also implements io.Closer is closed when its pool slot shuts down, the
+// hook for releasing per-slot state.
 //
 // The interface is deliberately the minimal seam for a remote worker fleet:
 // a future RemoteWorker only has to ship the core.PointJob to a peer daosd
@@ -23,17 +26,35 @@ type Worker interface {
 	RunPoint(ctx context.Context, j core.PointJob) core.Point
 }
 
-// LocalWorker simulates points in-process, the same execution path as
-// core.Runner (core.PointJob.Execute), so results through the server are
-// byte-identical to direct runs.
-type LocalWorker struct{}
+// LocalWorker simulates points in-process through the same execution path
+// as core.Runner (core.PointJob.ExecuteIn), so results through the server
+// are byte-identical to direct runs. Each instance owns a kernel arena that
+// recycles simulator state (event heap, pools, process goroutines) across
+// the points its pool slot executes; the zero value is ready to use.
+type LocalWorker struct {
+	arena *sim.Arena
+}
 
 // RunPoint implements Worker.
-func (LocalWorker) RunPoint(ctx context.Context, j core.PointJob) core.Point {
+func (w *LocalWorker) RunPoint(ctx context.Context, j core.PointJob) core.Point {
 	if err := ctx.Err(); err != nil {
 		return canceledPoint(j)
 	}
-	return j.Execute()
+	if w.arena == nil {
+		w.arena = sim.NewArena()
+	}
+	return j.ExecuteIn(w.arena)
+}
+
+// Close implements io.Closer: it drains the worker's kernel arena, waiting
+// for its parked goroutines to exit. The server closes each pool slot's
+// Worker on shutdown, so a drained daosd returns to its baseline goroutine
+// count.
+func (w *LocalWorker) Close() error {
+	if w.arena != nil {
+		w.arena.Drain()
+	}
+	return nil
 }
 
 // canceledPoint fills a job's result slot when its submission was abandoned

@@ -64,26 +64,60 @@ func (t *ExtentTree) Insert(offset int64, epoch Epoch, data []byte) {
 // Unwritten bytes read as zero (holes). The second result reports how many
 // bytes at the start of the range were actually covered by writes visible at
 // the epoch (0 when the whole range is a hole).
+//
+// This is the hottest path of the whole simulator — every simulated fetch
+// lands here with transfer-sized ranges — so it avoids the naive
+// mark-a-bool-per-byte formulation: the covered prefix comes from an
+// interval walk over the (offset-ordered) visible extents, the overlap scan
+// stops at the binary-searched first extent starting past the range, and a
+// read fully covered by a single extent copies it without first zeroing a
+// buffer. Results are byte-for-byte those of the straightforward overlay.
 func (t *ExtentTree) Read(offset int64, length int, epoch Epoch) ([]byte, int64) {
-	buf := make([]byte, length)
-	var covered int64
 	end := offset + int64(length)
-	// Extents are in (offset, epoch) ascending order, so overlaying in
-	// iteration order applies lower epochs first and higher epochs on top
-	// for equal offsets; for differing offsets overlap resolution must be
-	// epoch-ordered, so sort the overlapping set by epoch before overlay.
+	// No extent with Offset >= end can overlap; extents are offset-sorted,
+	// so everything at or past this index is irrelevant.
+	stop := sort.Search(len(t.extents), func(i int) bool { return t.extents[i].Offset >= end })
+	// Collect the visible overlapping extents in offset order.
 	var overlapping []Extent
-	for _, e := range t.extents {
-		if e.Epoch > epoch {
-			continue
-		}
-		if e.End() <= offset || e.Offset >= end {
+	for _, e := range t.extents[:stop] {
+		if e.Epoch > epoch || e.End() <= offset {
 			continue
 		}
 		overlapping = append(overlapping, e)
 	}
+	// The covered prefix is an interval union walk: extents arrive in
+	// offset order, so the prefix extends while each next extent starts at
+	// or before the current frontier.
+	prefix := offset
+	for _, e := range overlapping {
+		if e.Offset > prefix {
+			break
+		}
+		if e.End() > prefix {
+			prefix = e.End()
+		}
+	}
+	if prefix > end {
+		prefix = end
+	}
+	covered := prefix - offset
+
+	// A range fully covered by one extent — the common case for aligned
+	// IOR-style transfers — is a straight copy: append allocates without
+	// zeroing, where make([]byte, length) would clear the buffer only to
+	// overwrite every byte.
+	if len(overlapping) == 1 {
+		if e := overlapping[0]; e.Offset <= offset && e.End() >= end {
+			return append([]byte(nil), e.Data[offset-e.Offset:end-e.Offset]...), covered
+		}
+	}
+
+	buf := make([]byte, length)
+	// Overlap resolution must be epoch-ordered (the highest epoch wins for
+	// every byte), so sort the overlapping set by epoch before overlay; the
+	// stable sort keeps equal-epoch extents in offset order, exactly the
+	// order the (offset, epoch)-sorted tree would overlay them in.
 	sort.SliceStable(overlapping, func(i, j int) bool { return overlapping[i].Epoch < overlapping[j].Epoch })
-	covering := make([]bool, length)
 	for _, e := range overlapping {
 		lo := e.Offset
 		if lo < offset {
@@ -94,15 +128,6 @@ func (t *ExtentTree) Read(offset int64, length int, epoch Epoch) ([]byte, int64)
 			hi = end
 		}
 		copy(buf[lo-offset:hi-offset], e.Data[lo-e.Offset:hi-e.Offset])
-		for i := lo - offset; i < hi-offset; i++ {
-			covering[i] = true
-		}
-	}
-	for _, c := range covering {
-		if !c {
-			break
-		}
-		covered++
 	}
 	return buf, covered
 }
