@@ -236,10 +236,33 @@ func pct(old, new float64) string {
 	return fmt.Sprintf("%+7.1f%%", (new-old)/old*100)
 }
 
+// higherIsBetter reports the improvement direction of a custom metric unit:
+// throughput units ("points/s", "MB/s" — anything ending in "/s" that isn't
+// a time-per quantity like "ns/op") improve upward, everything else
+// (latencies, counts, "ns/point") improves downward.
+func higherIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/s")
+}
+
+// metricRegression reports whether new regressed against old for the unit,
+// in the unit's improvement direction, beyond threshold percent.
+func metricRegression(unit string, old, new, threshold float64) bool {
+	if old == 0 {
+		return false
+	}
+	if higherIsBetter(unit) {
+		return new < old*(1-threshold/100)
+	}
+	return new > old*(1+threshold/100)
+}
+
 // diff prints per-benchmark deltas between two runs and reports whether any
-// benchmark regressed: ns/op grew by more than threshold percent, or
-// allocs/op or B/op grew at all. Benchmarks present on only one side are
-// listed but never count as regressions.
+// benchmark regressed: ns/op grew by more than threshold percent, allocs/op
+// or B/op grew at all, or a custom metric moved against its improvement
+// direction (units ending "/s" are throughputs and regress downward; all
+// others regress upward) by more than threshold percent. Benchmarks or
+// metrics present on only one side are listed but never count as
+// regressions.
 func diff(w io.Writer, old, new Run, threshold float64) bool {
 	names := make([]string, 0, len(old.Benchmarks))
 	for name := range old.Benchmarks {
@@ -274,6 +297,22 @@ func diff(w io.Writer, old, new Run, threshold float64) bool {
 			if n.BytesPerOp > o.BytesPerOp {
 				notes = append(notes, fmt.Sprintf("REGRESSION: B/op %g -> %g", o.BytesPerOp, n.BytesPerOp))
 				regressed = true
+			}
+			units := make([]string, 0, len(o.Metrics))
+			for unit := range o.Metrics {
+				if _, ok := n.Metrics[unit]; ok {
+					units = append(units, unit)
+				}
+			}
+			sort.Strings(units)
+			for _, unit := range units {
+				ov, nv := o.Metrics[unit], n.Metrics[unit]
+				if metricRegression(unit, ov, nv, threshold) {
+					notes = append(notes, fmt.Sprintf("REGRESSION: %s %g -> %g (%s)", unit, ov, nv, strings.TrimSpace(pct(ov, nv))))
+					regressed = true
+				} else if ov != nv {
+					notes = append(notes, fmt.Sprintf("%s %g -> %g (%s)", unit, ov, nv, strings.TrimSpace(pct(ov, nv))))
+				}
 			}
 			suffix := ""
 			if len(notes) > 0 {

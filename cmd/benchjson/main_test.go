@@ -239,3 +239,71 @@ func TestDiffDetectsRegressions(t *testing.T) {
 		t.Fatalf("clean diff reported a regression:\n%s", b.String())
 	}
 }
+
+func TestHigherIsBetter(t *testing.T) {
+	for unit, want := range map[string]bool{
+		"points/s": true,
+		"MB/s":     true,
+		"ns/point": false,
+		"ns/op":    false,
+		"windows":  false,
+	} {
+		if got := higherIsBetter(unit); got != want {
+			t.Errorf("higherIsBetter(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestDiffComparesCustomMetrics(t *testing.T) {
+	mk := func(throughput, latency float64) Run {
+		return Run{Benchmarks: map[string]Result{
+			"BenchmarkPointThroughput": {
+				NsPerOp: 1000,
+				Metrics: map[string]float64{"points/s": throughput, "ns/point": latency},
+			},
+		}}
+	}
+
+	// Throughput units ("/s") regress when they DROP past the threshold;
+	// per-item latencies regress when they grow past it.
+	var b strings.Builder
+	if !diff(&b, mk(10, 100e6), mk(5, 100e6), 20) {
+		t.Fatalf("halved points/s not flagged:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "REGRESSION: points/s 10 -> 5") {
+		t.Fatalf("regression note missing:\n%s", b.String())
+	}
+
+	b.Reset()
+	if !diff(&b, mk(10, 100e6), mk(10, 200e6), 20) {
+		t.Fatalf("doubled ns/point not flagged:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "REGRESSION: ns/point 1e+08 -> 2e+08") {
+		t.Fatalf("regression note missing:\n%s", b.String())
+	}
+
+	// Improvements and within-threshold drift are reported but never gate.
+	b.Reset()
+	if diff(&b, mk(10, 100e6), mk(30, 35e6), 20) {
+		t.Fatalf("improvement reported as regression:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "points/s 10 -> 30") {
+		t.Fatalf("metric delta not reported:\n%s", b.String())
+	}
+	b.Reset()
+	if diff(&b, mk(10, 100e6), mk(9, 110e6), 20) {
+		t.Fatalf("within-threshold drift flagged:\n%s", b.String())
+	}
+
+	// A metric present on only one side never gates.
+	onlyOld := Run{Benchmarks: map[string]Result{
+		"BenchmarkPointThroughput": {NsPerOp: 1000, Metrics: map[string]float64{"points/s": 10}},
+	}}
+	onlyNew := Run{Benchmarks: map[string]Result{
+		"BenchmarkPointThroughput": {NsPerOp: 1000, Metrics: map[string]float64{"ns/point": 1e8}},
+	}}
+	b.Reset()
+	if diff(&b, onlyOld, onlyNew, 20) {
+		t.Fatalf("one-sided metrics gated:\n%s", b.String())
+	}
+}

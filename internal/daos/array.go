@@ -74,39 +74,61 @@ func (a *Array) Write(p *sim.Proc, off int64, data []byte) error {
 	return a.Obj.Update(p, writes)
 }
 
-// Read fetches n bytes at the byte offset as visible at epoch (0 = latest).
-// Holes read as zeros.
-func (a *Array) ReadAt(p *sim.Proc, off int64, n int64, epoch vos.Epoch) ([]byte, error) {
+// ReadAtInto fetches n bytes at the byte offset as visible at epoch (0 =
+// latest) into dst, which must be n bytes long. Each chunk span lands in its
+// disjoint sub-slice of dst directly (the engine fills the span in place),
+// so every byte materializes exactly once with no assembly pass; chunks with
+// no data on their shard read as zeros. A nil dst simulates the read —
+// identical RPCs, identical timing — without materializing any bytes.
+func (a *Array) ReadAtInto(p *sim.Proc, off int64, n int64, epoch vos.Epoch, dst []byte) error {
 	if n <= 0 {
-		return nil, nil
+		return nil
+	}
+	if dst != nil && int64(len(dst)) != n {
+		return fmt.Errorf("daos: array read into %d-byte buffer, want %d", len(dst), n)
 	}
 	spans := a.spans(off, n)
 	reads := make([]engine.ReadExt, 0, len(spans))
 	for _, sp := range spans {
-		reads = append(reads, engine.ReadExt{
+		rd := engine.ReadExt{
 			Dkey:   engine.ChunkDkey(sp.chunk),
 			Akey:   arrayAkey,
 			Offset: sp.inOff,
 			Length: int(sp.length),
-		})
+		}
+		if dst == nil {
+			rd.Discard = true
+		} else {
+			rd.Dst = dst[sp.bufLo : sp.bufLo+sp.length]
+		}
+		reads = append(reads, rd)
 	}
 	data, err := a.Obj.Fetch(p, reads, epoch)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	// A read inside one chunk needs no assembly: the fetched piece is a
-	// fresh length-n buffer owned by this call (the engine materializes it
-	// per fetch), so hand it straight back. Chunk-aligned segment reads —
-	// the FUSE request size equals the default chunk size — all take this
-	// path, skipping a buffer zeroing and a copy of every byte.
-	if len(spans) == 1 && data[0] != nil {
-		return data[0], nil
+	if dst != nil {
+		// A nil entry is a chunk absent on its shard (never written): its
+		// span is a hole, and holes read as zeros even into reused buffers.
+		for i, sp := range spans {
+			if data[i] == nil {
+				clear(dst[sp.bufLo : sp.bufLo+sp.length])
+			}
+		}
+	}
+	return nil
+}
+
+// Read fetches n bytes at the byte offset as visible at epoch (0 = latest).
+// Holes read as zeros: a read entirely inside an unwritten region returns a
+// zeroed buffer, exactly like a partially covered one.
+func (a *Array) ReadAt(p *sim.Proc, off int64, n int64, epoch vos.Epoch) ([]byte, error) {
+	if n <= 0 {
+		return nil, nil
 	}
 	buf := make([]byte, n)
-	for i, sp := range spans {
-		if data[i] != nil {
-			copy(buf[sp.bufLo:sp.bufLo+sp.length], data[i])
-		}
+	if err := a.ReadAtInto(p, off, n, epoch, buf); err != nil {
+		return nil, err
 	}
 	return buf, nil
 }

@@ -175,6 +175,79 @@ func TestArrayHolesReadZero(t *testing.T) {
 	})
 }
 
+// TestArrayReadHoleShapes pins the hole contract across every read shape:
+// whatever mix of written spans and holes the window covers — including a
+// window entirely inside one unwritten chunk, the case the old single-span
+// fast path handled asymmetrically — ReadAt returns exactly the written
+// bytes with zeros elsewhere, and ReadAtInto scrubs a dirty reused buffer
+// to the same contents.
+func TestArrayReadHoleShapes(t *testing.T) {
+	const chunk = 1 << 20 // cluster.Small container chunk size
+	cases := []struct {
+		name     string
+		off, n   int64
+		contains []int64 // offsets (relative to off) expected to hold written data
+	}{
+		{name: "whole window in an unwritten chunk", off: 5 * chunk, n: 512},
+		{name: "window inside the written span", off: chunk + 10, n: 100, contains: []int64{0, 99}},
+		{name: "hole then data", off: chunk - 64, n: 128, contains: []int64{64, 127}},
+		{name: "data then hole", off: 2*chunk - 64, n: 128, contains: []int64{0, 63}},
+		{name: "multi-chunk with holes both sides", off: chunk / 2, n: 2 * chunk, contains: []int64{chunk / 2, chunk/2 + chunk - 1}},
+		{name: "window straddling three chunks", off: chunk - 1, n: chunk + 2, contains: []int64{1, chunk}},
+	}
+	withContainer(t, placement.S2, func(p *sim.Proc, tb *cluster.Testbed, ct *daos.Container) {
+		arr, err := ct.OpenArray(p, ct.AllocOID(placement.S2))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if arr.ChunkSize != chunk {
+			t.Errorf("chunk size = %d, test geometry assumes %d", arr.ChunkSize, chunk)
+			return
+		}
+		// Written region: [chunk, 2*chunk) filled with 0x5a; everything else
+		// is a hole.
+		if err := arr.Write(p, chunk, bytes.Repeat([]byte{0x5a}, chunk)); err != nil {
+			t.Error(err)
+			return
+		}
+		inData := func(abs int64) bool { return abs >= chunk && abs < 2*chunk }
+		for _, tc := range cases {
+			want := make([]byte, tc.n)
+			for i := range want {
+				if inData(tc.off + int64(i)) {
+					want[i] = 0x5a
+				}
+			}
+			for _, rel := range tc.contains { // guard the case table itself
+				if !inData(tc.off + rel) {
+					t.Errorf("%s: case expects data at +%d but that is a hole", tc.name, rel)
+				}
+			}
+			got, err := arr.ReadAt(p, tc.off, tc.n, 0)
+			if err != nil {
+				t.Errorf("%s: ReadAt: %v", tc.name, err)
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: ReadAt mismatch", tc.name)
+			}
+			dirty := bytes.Repeat([]byte{0xee}, int(tc.n))
+			if err := arr.ReadAtInto(p, tc.off, tc.n, 0, dirty); err != nil {
+				t.Errorf("%s: ReadAtInto: %v", tc.name, err)
+				continue
+			}
+			if !bytes.Equal(dirty, want) {
+				t.Errorf("%s: ReadAtInto left stale bytes in holes", tc.name)
+			}
+		}
+		// Wrong-sized destination is rejected rather than partially filled.
+		if err := arr.ReadAtInto(p, 0, 64, 0, make([]byte, 63)); err == nil {
+			t.Error("short dst accepted")
+		}
+	})
+}
+
 func TestArrayOverwrite(t *testing.T) {
 	withContainer(t, placement.S2, func(p *sim.Proc, tb *cluster.Testbed, ct *daos.Container) {
 		arr, _ := ct.OpenArray(p, ct.AllocOID(placement.S2))

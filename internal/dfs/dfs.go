@@ -499,6 +499,13 @@ func (f *File) ReadAt(p *sim.Proc, off int64, n int64) ([]byte, error) {
 	return f.arr.Read(p, off, n)
 }
 
+// ReadAtInto fetches n bytes at the byte offset into dst (len(dst) == n;
+// every byte is written, holes as zeros). A nil dst simulates the read with
+// identical timing without materializing data.
+func (f *File) ReadAtInto(p *sim.Proc, off int64, n int64, dst []byte) error {
+	return f.arr.ReadAtInto(p, off, n, 0, dst)
+}
+
 // Size returns the file's end-of-file.
 func (f *File) Size(p *sim.Proc) (int64, error) {
 	return f.arr.Size(p)

@@ -191,8 +191,21 @@ func (fd *File) Pwrite(p *sim.Proc, off int64, data []byte) (int, error) {
 // Pread reads n bytes at the offset, split into FUSE-sized requests kept in
 // flight concurrently, mirroring Pwrite.
 func (fd *File) Pread(p *sim.Proc, off int64, n int64) ([]byte, error) {
-	m := fd.mount
 	out := make([]byte, n)
+	if err := fd.PreadInto(p, off, n, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PreadInto reads n bytes at the offset into dst (len(dst) == n; every byte
+// is written, holes as zeros), with the same FUSE request splitting as
+// Pread: each segment lands in its disjoint sub-slice of dst directly. The
+// bounce-buffer charge is unchanged — the kernel crossing still moves the
+// bytes, the simulation just doesn't copy them again. A nil dst simulates
+// the read with identical timing without materializing data.
+func (fd *File) PreadInto(p *sim.Proc, off int64, n int64, dst []byte) error {
+	m := fd.mount
 	var segErr error
 	wg := sim.NewWaitGroup(m.threads.Sim())
 	var pos int64
@@ -202,15 +215,14 @@ func (fd *File) Pread(p *sim.Proc, off int64, n int64) ([]byte, error) {
 			seg = m.costs.MaxRequest
 		}
 		segOff := off + pos
-		bufLo := pos
+		var segDst []byte
+		if dst != nil {
+			segDst = dst[pos : pos+seg]
+		}
 		segLen := seg
 		wg.Go("fuse-read", func(cp *sim.Proc) {
 			err := m.request(cp, segLen, func(cp *sim.Proc) error {
-				data, err := fd.f.ReadAt(cp, segOff, segLen)
-				if err == nil {
-					copy(out[bufLo:bufLo+segLen], data)
-				}
-				return err
+				return fd.f.ReadAtInto(cp, segOff, segLen, segDst)
 			})
 			if err != nil && segErr == nil {
 				segErr = err
@@ -220,9 +232,9 @@ func (fd *File) Pread(p *sim.Proc, off int64, n int64) ([]byte, error) {
 	}
 	wg.Wait(p)
 	if segErr != nil {
-		return nil, fmt.Errorf("dfuse: pread: %w", segErr)
+		return fmt.Errorf("dfuse: pread: %w", segErr)
 	}
-	return out, nil
+	return nil
 }
 
 // Size stats the file through the mount.

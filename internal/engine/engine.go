@@ -200,11 +200,26 @@ type WriteExt struct {
 }
 
 // ReadExt is one extent (or single value) in a fetch RPC.
+//
+// Dst and Discard select the zero-copy read modes for array extents (the
+// engine handler runs in the calling process, so a destination span is
+// addressable directly — the simulation analogue of an RDMA bulk landing in
+// a registered client buffer). With Dst set, the engine fills it in place
+// and the response aliases it; with Discard set, the engine performs the
+// identical visibility walk and charges identical time but moves no bytes
+// (reads whose content nobody observes). Neither field contributes to the
+// request's wire size: both describe where data lands, not what is sent.
 type ReadExt struct {
 	Dkey, Akey []byte
 	Offset     int64
 	Length     int
 	Single     bool
+	// Dst, when non-nil, receives the extent's bytes (len(Dst) must equal
+	// Length). Array reads only.
+	Dst []byte
+	// Discard simulates the read without materializing data. Array reads
+	// only; mutually exclusive with Dst.
+	Discard bool
 }
 
 // UpdateReq writes a batch of extents to one object shard on one target.
@@ -393,8 +408,15 @@ func (e *Engine) handleFetch(p *sim.Proc, r *FetchReq) fabric.Response {
 	if epoch == 0 {
 		epoch = vos.EpochMax
 	}
+	// Timing and wire accounting depend only on each read's length and
+	// whether its akey is present — never on materialized buffers — so the
+	// zero-copy (Dst) and no-materialize (Discard) modes charge exactly what
+	// the allocating path charges: a present array read contributes Length
+	// to device bytes, tier routing, and response size whether its bytes
+	// land in a fresh buffer, the caller's span, or nowhere.
 	resp := &FetchResp{Data: make([][]byte, len(r.Reads))}
-	var bytes int64
+	var bytes, bulkBytes int64
+	size := int64(64)
 	for i, rd := range r.Reads {
 		p.Sleep(e.cfg.Costs.PerExtentCost)
 		if rd.Single {
@@ -408,9 +430,25 @@ func (e *Engine) handleFetch(p *sim.Proc, r *FetchReq) fabric.Response {
 			}
 			resp.Data[i] = v
 			bytes += int64(len(v))
+			size += int64(len(v))
 			continue
 		}
-		v, err := cont.FetchArray(r.OID, rd.Dkey, rd.Akey, epoch, rd.Offset, rd.Length)
+		var err error
+		switch {
+		case rd.Discard:
+			err = cont.FetchArrayInto(r.OID, rd.Dkey, rd.Akey, epoch, rd.Offset, rd.Length, nil)
+		case rd.Dst != nil:
+			err = cont.FetchArrayInto(r.OID, rd.Dkey, rd.Akey, epoch, rd.Offset, rd.Length, rd.Dst)
+			if err == nil {
+				resp.Data[i] = rd.Dst
+			}
+		default:
+			var v []byte
+			v, err = cont.FetchArray(r.OID, rd.Dkey, rd.Akey, epoch, rd.Offset, rd.Length)
+			if err == nil {
+				resp.Data[i] = v
+			}
+		}
 		if err != nil {
 			if errors.Is(err, vos.ErrNotFound) || errors.Is(err, vos.ErrPunched) {
 				resp.Data[i] = nil
@@ -418,26 +456,19 @@ func (e *Engine) handleFetch(p *sim.Proc, r *FetchReq) fabric.Response {
 			}
 			return fabric.Response{Err: err, Size: 64}
 		}
-		resp.Data[i] = v
-		bytes += int64(len(v))
+		bytes += int64(rd.Length)
+		size += int64(rd.Length)
+		if e.bulk != nil && int64(rd.Length) >= e.cfg.BulkThreshold {
+			bulkBytes += int64(rd.Length)
+		}
 	}
 	if e.bulk != nil {
 		// Split the fetch between tiers with the same routing rule the
 		// writes used.
-		var bulkBytes int64
-		for i, rd := range r.Reads {
-			if !rd.Single && int64(len(resp.Data[i])) >= e.cfg.BulkThreshold {
-				bulkBytes += int64(len(resp.Data[i]))
-			}
-		}
 		e.bulk.Read(p, bulkBytes)
 		bytes -= bulkBytes
 	}
 	e.device.Read(p, bytes)
-	size := int64(64)
-	for _, d := range resp.Data {
-		size += int64(len(d))
-	}
 	return fabric.Response{Body: resp, Size: size}
 }
 

@@ -28,10 +28,14 @@ import (
 	"daosim/internal/sim"
 )
 
-// VFD is the virtual file driver under an HDF5 file.
+// VFD is the virtual file driver under an HDF5 file. ReadAtInto is the
+// zero-copy read: it fills dst (len(dst) == n) in place, or — with a nil
+// dst — simulates the read with identical timing while materializing
+// nothing.
 type VFD interface {
 	WriteAt(p *sim.Proc, off int64, data []byte) error
 	ReadAt(p *sim.Proc, off int64, n int64) ([]byte, error)
+	ReadAtInto(p *sim.Proc, off int64, n int64, dst []byte) error
 	Size(p *sim.Proc) (int64, error)
 	Sync(p *sim.Proc) error
 	Close(p *sim.Proc) error
@@ -49,6 +53,9 @@ func (v *posixVFD) WriteAt(p *sim.Proc, off int64, data []byte) error {
 }
 func (v *posixVFD) ReadAt(p *sim.Proc, off int64, n int64) ([]byte, error) {
 	return v.fd.Pread(p, off, n)
+}
+func (v *posixVFD) ReadAtInto(p *sim.Proc, off int64, n int64, dst []byte) error {
+	return v.fd.PreadInto(p, off, n, dst)
 }
 func (v *posixVFD) Size(p *sim.Proc) (int64, error) { return v.fd.Size(p) }
 func (v *posixVFD) Sync(p *sim.Proc) error          { return v.fd.Fsync(p) }
@@ -289,17 +296,28 @@ func (ds *Dataset) Write(p *sim.Proc, off int64, data []byte) error {
 // Read fetches n bytes at a byte offset within the dataset. Unwritten
 // chunked regions read as zeros.
 func (ds *Dataset) Read(p *sim.Proc, off int64, n int64) ([]byte, error) {
+	out := make([]byte, n)
+	if err := ds.ReadInto(p, off, n, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadInto fetches n bytes at a byte offset within the dataset into dst
+// (len(dst) == n; every byte is written, unwritten chunked regions as
+// zeros). A nil dst simulates the read — the same sieve window loads, VFD
+// requests, and library charges — without materializing data.
+func (ds *Dataset) ReadInto(p *sim.Proc, off int64, n int64, dst []byte) error {
 	if off < 0 || off+n > ds.Extent {
-		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfBounds, off, off+n, ds.Extent)
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfBounds, off, off+n, ds.Extent)
 	}
 	p.Sleep(ds.file.costs.LibOp)
 	if ds.Layout == layoutContiguous {
 		if ds.file.sieve != nil {
-			return ds.file.sieveRead(p, ds.dataOff+off, n)
+			return ds.file.sieveRead(p, ds.dataOff+off, n, dst)
 		}
-		return ds.file.vfd.ReadAt(p, ds.dataOff+off, n)
+		return ds.file.vfd.ReadAtInto(p, ds.dataOff+off, n, dst)
 	}
-	out := make([]byte, n)
 	var pos int64
 	for pos < n {
 		ci := (off + pos) / ds.chunkSize
@@ -308,16 +326,22 @@ func (ds *Dataset) Read(p *sim.Proc, off int64, n int64) ([]byte, error) {
 		if l > n-pos {
 			l = n - pos
 		}
-		if ent, ok := ds.chunks[ci]; ok {
-			seg, err := ds.file.vfd.ReadAt(p, ent.fileOff+inOff, l)
-			if err != nil {
-				return nil, err
+		ent, ok := ds.chunks[ci]
+		switch {
+		case ok && dst != nil:
+			if err := ds.file.vfd.ReadAtInto(p, ent.fileOff+inOff, l, dst[pos:pos+l]); err != nil {
+				return err
 			}
-			copy(out[pos:pos+l], seg)
+		case ok:
+			if err := ds.file.vfd.ReadAtInto(p, ent.fileOff+inOff, l, nil); err != nil {
+				return err
+			}
+		case dst != nil:
+			clear(dst[pos : pos+l]) // unallocated chunk: reads as zeros
 		}
 		pos += l
 	}
-	return out, nil
+	return nil
 }
 
 // Flush writes the object index, chunk indexes, and the superblock (the

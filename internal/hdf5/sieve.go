@@ -18,10 +18,11 @@ import "daosim/internal/sim"
 
 // sieve is the per-file staging buffer.
 type sieve struct {
-	size  int64
-	start int64 // aligned window start; -1 when empty
-	data  []byte
-	dirty bool
+	size   int64
+	start  int64 // aligned window start; -1 when empty
+	data   []byte
+	dirty  bool
+	loaded bool // data holds the window's bytes (false after a discard load)
 }
 
 // DefaultSieveSize is the staging window for contiguous datasets. HDF5's
@@ -56,22 +57,31 @@ func (f *File) flushSieve(p *sim.Proc) error {
 }
 
 // loadSieve positions the window over the region containing off,
-// read-modify-write style: flush the old window, then read the new one.
-func (f *File) loadSieve(p *sim.Proc, off int64) error {
+// read-modify-write style: flush the old window, then read the new one
+// straight into the staging buffer. With materialize false the window load
+// is simulated (same VFD request, same flush) without filling the buffer;
+// a later materializing access to the same window re-reads it, so discard
+// reads never poison the staging state.
+func (f *File) loadSieve(p *sim.Proc, off int64, materialize bool) error {
 	s := f.sieve
 	window := off - off%s.size
-	if s.start == window {
+	if s.start == window && (s.loaded || !materialize) {
 		return nil
 	}
-	if err := f.flushSieve(p); err != nil {
+	if s.start != window {
+		if err := f.flushSieve(p); err != nil {
+			return err
+		}
+	}
+	var dst []byte
+	if materialize {
+		dst = s.data
+	}
+	if err := f.vfd.ReadAtInto(p, window, s.size, dst); err != nil {
 		return err
 	}
-	data, err := f.vfd.ReadAt(p, window, s.size)
-	if err != nil {
-		return err
-	}
-	copy(s.data, data)
 	s.start = window
+	s.loaded = materialize
 	return nil
 }
 
@@ -96,7 +106,7 @@ func (f *File) sieveWrite(p *sim.Proc, off int64, data []byte) error {
 			data = data[s.size:]
 			continue
 		}
-		if err := f.loadSieve(p, off); err != nil {
+		if err := f.loadSieve(p, off, true); err != nil {
 			return err
 		}
 		lo := off - s.start
@@ -114,22 +124,24 @@ func (f *File) sieveWrite(p *sim.Proc, off int64, data []byte) error {
 
 // sieveRead serves a contiguous-dataset read through the sieve, loading
 // windows serially (HDF5 performs its own buffering, so the kernel's
-// parallel readahead never engages).
-func (f *File) sieveRead(p *sim.Proc, off int64, n int64) ([]byte, error) {
+// parallel readahead never engages). Bytes land in the caller's dst; a nil
+// dst walks the same window-load sequence without materializing anything.
+func (f *File) sieveRead(p *sim.Proc, off int64, n int64, dst []byte) error {
 	s := f.sieve
-	out := make([]byte, n)
 	var pos int64
 	for pos < n {
-		if err := f.loadSieve(p, off+pos); err != nil {
-			return nil, err
+		if err := f.loadSieve(p, off+pos, dst != nil); err != nil {
+			return err
 		}
 		lo := off + pos - s.start
 		l := s.size - lo
 		if l > n-pos {
 			l = n - pos
 		}
-		copy(out[pos:pos+l], s.data[lo:lo+l])
+		if dst != nil {
+			copy(dst[pos:pos+l], s.data[lo:lo+l])
+		}
 		pos += l
 	}
-	return out, nil
+	return nil
 }

@@ -12,10 +12,13 @@ import (
 	"daosim/internal/sim"
 )
 
-// handle is one open test file.
+// handle is one open test file. readAtInto fills the caller's dst (len ==
+// n, holes as zeros) so one buffer serves every transfer; a nil dst
+// simulates the read with identical timing without materializing data —
+// what the driver uses when verification is off.
 type handle interface {
 	writeAt(p *sim.Proc, off int64, data []byte) error
-	readAt(p *sim.Proc, off int64, n int64) ([]byte, error)
+	readAtInto(p *sim.Proc, off int64, n int64, dst []byte) error
 	closeFile(p *sim.Proc) error
 }
 
@@ -76,8 +79,8 @@ type dfsHandle struct{ f *dfs.File }
 func (h *dfsHandle) writeAt(p *sim.Proc, off int64, data []byte) error {
 	return h.f.WriteAt(p, off, data)
 }
-func (h *dfsHandle) readAt(p *sim.Proc, off int64, n int64) ([]byte, error) {
-	return h.f.ReadAt(p, off, n)
+func (h *dfsHandle) readAtInto(p *sim.Proc, off int64, n int64, dst []byte) error {
+	return h.f.ReadAtInto(p, off, n, dst)
 }
 func (h *dfsHandle) closeFile(p *sim.Proc) error { return h.f.Close(p) }
 
@@ -126,8 +129,8 @@ func (h *posixHandle) writeAt(p *sim.Proc, off int64, data []byte) error {
 	_, err := h.fd.Pwrite(p, off, data)
 	return err
 }
-func (h *posixHandle) readAt(p *sim.Proc, off int64, n int64) ([]byte, error) {
-	return h.fd.Pread(p, off, n)
+func (h *posixHandle) readAtInto(p *sim.Proc, off int64, n int64, dst []byte) error {
+	return h.fd.PreadInto(p, off, n, dst)
 }
 func (h *posixHandle) closeFile(p *sim.Proc) error { return h.fd.Close(p) }
 
@@ -184,11 +187,11 @@ func (h *mpiioHandle) writeAt(p *sim.Proc, off int64, data []byte) error {
 	}
 	return h.f.WriteAt(p, off, data)
 }
-func (h *mpiioHandle) readAt(p *sim.Proc, off int64, n int64) ([]byte, error) {
+func (h *mpiioHandle) readAtInto(p *sim.Proc, off int64, n int64, dst []byte) error {
 	if h.collective {
-		return h.f.ReadAtAll(p, off, n)
+		return h.f.ReadAtAllInto(p, off, n, dst)
 	}
-	return h.f.ReadAt(p, off, n)
+	return h.f.ReadAtInto(p, off, n, dst)
 }
 func (h *mpiioHandle) closeFile(p *sim.Proc) error { return h.f.Close(p) }
 
@@ -242,8 +245,8 @@ type hdf5Handle struct {
 func (h *hdf5Handle) writeAt(p *sim.Proc, off int64, data []byte) error {
 	return h.ds.Write(p, off, data)
 }
-func (h *hdf5Handle) readAt(p *sim.Proc, off int64, n int64) ([]byte, error) {
-	return h.ds.Read(p, off, n)
+func (h *hdf5Handle) readAtInto(p *sim.Proc, off int64, n int64, dst []byte) error {
+	return h.ds.ReadInto(p, off, n, dst)
 }
 func (h *hdf5Handle) closeFile(p *sim.Proc) error { return h.f.Close(p) }
 

@@ -369,17 +369,26 @@ func runIteration(p *sim.Proc, env *Env, ns *namespace, cfg Config, iter int, re
 				noteErr(fmt.Errorf("rank %d open: %w", r.ID(), err))
 				return
 			}
+			// With verification on, one reused buffer receives every
+			// transfer (readAtInto overwrites all n bytes, holes as zeros).
+			// Without it the contents are irrelevant: a nil destination
+			// simulates each read with identical timing while the data path
+			// materializes nothing — real IOR still moves the bytes, but the
+			// simulation only needs their geometry.
+			var readBuf []byte
+			if cfg.Verify {
+				readBuf = make([]byte, cfg.TransferSize)
+			}
 			for _, st := range cfg.opOrder(r.ID(), transfersPerBlock) {
 				off := cfg.offset(srcRank, ranks, st[0], st[1])
-				data, err := h.readAt(cp, off, cfg.TransferSize)
-				if err != nil {
+				if err := h.readAtInto(cp, off, cfg.TransferSize, readBuf); err != nil {
 					noteErr(fmt.Errorf("rank %d read: %w", r.ID(), err))
 					return
 				}
 				if cfg.Verify {
 					pattern(buf, srcRank, off)
 					for i := range buf {
-						if data[i] != buf[i] {
+						if readBuf[i] != buf[i] {
 							res.VerifyErrors++
 							break
 						}

@@ -19,9 +19,13 @@ import (
 )
 
 // Driver is the ADIO device abstraction (one open handle per rank).
+// ReadAtInto is the zero-copy variant of ReadAt: it fills dst (len(dst) ==
+// n) in place, or — with a nil dst — simulates the read with identical
+// timing while materializing nothing.
 type Driver interface {
 	WriteAt(p *sim.Proc, off int64, data []byte) error
 	ReadAt(p *sim.Proc, off int64, n int64) ([]byte, error)
+	ReadAtInto(p *sim.Proc, off int64, n int64, dst []byte) error
 	Size(p *sim.Proc) (int64, error)
 	Sync(p *sim.Proc) error
 	Close(p *sim.Proc) error
@@ -36,6 +40,9 @@ func (d *dfsDriver) WriteAt(p *sim.Proc, off int64, data []byte) error {
 func (d *dfsDriver) ReadAt(p *sim.Proc, off int64, n int64) ([]byte, error) {
 	return d.f.ReadAt(p, off, n)
 }
+func (d *dfsDriver) ReadAtInto(p *sim.Proc, off int64, n int64, dst []byte) error {
+	return d.f.ReadAtInto(p, off, n, dst)
+}
 func (d *dfsDriver) Size(p *sim.Proc) (int64, error) { return d.f.Size(p) }
 func (d *dfsDriver) Sync(p *sim.Proc) error          { return d.f.Sync(p) }
 func (d *dfsDriver) Close(p *sim.Proc) error         { return d.f.Close(p) }
@@ -49,6 +56,9 @@ func (d *posixDriver) WriteAt(p *sim.Proc, off int64, data []byte) error {
 }
 func (d *posixDriver) ReadAt(p *sim.Proc, off int64, n int64) ([]byte, error) {
 	return d.fd.Pread(p, off, n)
+}
+func (d *posixDriver) ReadAtInto(p *sim.Proc, off int64, n int64, dst []byte) error {
+	return d.fd.PreadInto(p, off, n, dst)
 }
 func (d *posixDriver) Size(p *sim.Proc) (int64, error) { return d.fd.Size(p) }
 func (d *posixDriver) Sync(p *sim.Proc) error          { return d.fd.Fsync(p) }
@@ -155,6 +165,13 @@ func (f *File) ReadAt(p *sim.Proc, off int64, n int64) ([]byte, error) {
 	return f.drv.ReadAt(p, f.disp+off, n)
 }
 
+// ReadAtInto performs an independent read at the view-relative offset into
+// dst (len(dst) == n; every byte is written). A nil dst simulates the read
+// with identical timing without materializing data.
+func (f *File) ReadAtInto(p *sim.Proc, off int64, n int64, dst []byte) error {
+	return f.drv.ReadAtInto(p, f.disp+off, n, dst)
+}
+
 // Size returns the file size.
 func (f *File) Size(p *sim.Proc) (int64, error) { return f.drv.Size(p) }
 
@@ -169,6 +186,10 @@ type piece struct {
 	Off  int64
 	Data []byte // nil in read-request phase
 	Len  int64
+	// Discard marks a read request whose bytes the requester will not
+	// observe: the aggregator answers with timing-equivalent empty pieces
+	// (exchange sizes unchanged) and skips materializing for it.
+	Discard bool
 }
 
 // aggDomains partitions [lo, hi) into one contiguous file domain per
@@ -291,9 +312,27 @@ func (f *File) writeCoalesced(p *sim.Proc, pieces []*piece) error {
 // ReadAtAll performs a two-phase collective read: aggregators read their
 // file domains and ship each rank its pieces.
 func (f *File) ReadAtAll(p *sim.Proc, off int64, n int64) ([]byte, error) {
+	out := make([]byte, n)
+	if err := f.ReadAtAllInto(p, off, n, out); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// ReadAtAllInto is the collective read landing each rank's pieces directly
+// in dst (len(dst) == n; the answered pieces cover every byte). A rank
+// passing a nil dst sends discard-tagged requests: exchanges keep their
+// sizes (the shuffle still ships the bytes in simulated time) and an
+// aggregator whose incoming requests are all discards skips materializing
+// its covering read, so an all-discard collective moves nothing. Every rank
+// must call it (nil dst with n == 0 for zero-length participation).
+func (f *File) ReadAtAllInto(p *sim.Proc, off int64, n int64, dst []byte) error {
 	lo, hi, ok := f.collectiveExtent(p, off, n)
 	if !ok {
-		return nil, nil
+		return nil // nobody read anything
 	}
 	aggs, bounds := f.aggDomains(lo, hi)
 
@@ -302,6 +341,15 @@ func (f *File) ReadAtAll(p *sim.Proc, off int64, n int64) ([]byte, error) {
 	sizes := make([]int64, f.rank.Size())
 	if n > 0 {
 		routePieces(f.disp+off, nil, n, aggs, bounds, vals, sizes)
+		if dst == nil {
+			for _, v := range vals {
+				if v != nil {
+					for _, pc := range v.([]*piece) {
+						pc.Discard = true
+					}
+				}
+			}
+		}
 		for i := range sizes {
 			if sizes[i] > 0 {
 				sizes[i] = 64 // request descriptors are tiny
@@ -311,14 +359,20 @@ func (f *File) ReadAtAll(p *sim.Proc, off int64, n int64) ([]byte, error) {
 	requests := f.rank.Exchange(p, vals, sizes)
 
 	// Aggregators read the covering extent of the requests addressed to
-	// them, then answer each request from that buffer.
+	// them, then answer each request from that buffer. The covering read
+	// materializes only when some requester observes the bytes; its timing
+	// is identical either way.
 	var myReqs []*piece
 	reqFrom := make([]int, 0)
+	materialize := false
 	for _, rcv := range requests {
 		ps := rcv.Val.([]*piece)
 		myReqs = append(myReqs, ps...)
-		for range ps {
+		for _, rq := range ps {
 			reqFrom = append(reqFrom, rcv.From)
+			if !rq.Discard {
+				materialize = true
+			}
 		}
 	}
 	answers := make([]interface{}, f.rank.Size())
@@ -333,27 +387,36 @@ func (f *File) ReadAtAll(p *sim.Proc, off int64, n int64) ([]byte, error) {
 				rhi = rq.Off + rq.Len
 			}
 		}
-		buf, err := f.drv.ReadAt(p, rlo, rhi-rlo)
-		if err != nil {
-			return nil, err
+		var buf []byte
+		if materialize {
+			buf = make([]byte, rhi-rlo)
+		}
+		if err := f.drv.ReadAtInto(p, rlo, rhi-rlo, buf); err != nil {
+			return err
 		}
 		for i, rq := range myReqs {
-			pc := &piece{Off: rq.Off, Len: rq.Len, Data: buf[rq.Off-rlo : rq.Off-rlo+rq.Len]}
+			pc := &piece{Off: rq.Off, Len: rq.Len}
+			if !rq.Discard {
+				pc.Data = buf[rq.Off-rlo : rq.Off-rlo+rq.Len]
+			}
 			answers[reqFrom[i]] = appendPiece(answers[reqFrom[i]], pc)
 			ansSizes[reqFrom[i]] += rq.Len
 		}
 	}
 	incoming := f.rank.Exchange(p, answers, ansSizes)
 
-	// Assemble this rank's buffer from the answers.
-	out := make([]byte, n)
+	// Assemble this rank's buffer from the answers; the domain partition
+	// covers [off, off+n) exactly, so every byte of dst is written.
+	if dst == nil {
+		return nil
+	}
 	base := f.disp + off
 	for _, rcv := range incoming {
 		for _, pc := range rcv.Val.([]*piece) {
-			copy(out[pc.Off-base:pc.Off-base+pc.Len], pc.Data)
+			copy(dst[pc.Off-base:pc.Off-base+pc.Len], pc.Data)
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // collectiveExtent agrees on the union extent of a collective op; ok is

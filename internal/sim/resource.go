@@ -109,20 +109,22 @@ func (r *Resource) InUse() int { return r.inUse }
 // every arrival/departure instant.
 //
 // Fair-share accounting exploits the uniform service rate: every active flow
-// accrues the identical credit, so a flow's remaining bytes are its finish
-// tag expressed relative to the current virtual service level, and pairwise
-// order of remainders never changes between arrivals and departures
-// (floating-point subtraction of a common credit is monotone). The flows
-// therefore live in a min-heap keyed by (remaining, arrival), which keeps
-// the earliest completion at the root incrementally: scheduling the next
-// completion and draining a finished wave are O(log N) per flow instead of
-// the full rescans of the list-based kernel, turning O(N^2) arrival and
-// departure waves into O(N log N). The credit sweep itself runs at most once
-// per distinct virtual instant (same-instant waves early-return on
-// now == last) and deliberately keeps the classic one-subtraction-per-flow
-// form: study results are pinned byte-identical across kernel versions, so
-// remainders must follow the exact rounding stream of the original credit
-// loop rather than being derived from a cumulative counter.
+// accrues the identical credit, so progress is tracked once for the whole
+// link as a cumulative virtual-service counter vt (bytes served per flow
+// since the link last went idle). A flow arriving when the counter reads vt
+// is tagged with an immutable finish tag vt+size and completes when the
+// counter reaches it; its remaining bytes at any instant are finish-vt. The
+// flows live in a min-heap keyed by (finish, arrival) — keys never change,
+// so the heap needs no re-sifting — which keeps the earliest completion at
+// the root: arrivals and departures are O(log N), and crediting elapsed
+// service is a single counter addition, O(1) per distinct instant instead of
+// the one-subtraction-per-flow sweep of kernel version 2. The counter resets
+// to zero whenever the link drains, bounding its magnitude (and the absolute
+// float error of finish-vt) by the largest burst, not the length of the run.
+// Deriving remainders from the cumulative counter reorders the
+// floating-point arithmetic, so completion instants can shift by a
+// nanosecond relative to the per-flow credit stream: the change rides the
+// KernelVersion 3 bump and the regenerated golden figures.
 type SharedBW struct {
 	sim  *Sim
 	name string
@@ -132,9 +134,12 @@ type SharedBW struct {
 	// (e.g. a single QP / endpoint processing ceiling).
 	flowCap float64
 
-	// flows is a min-heap by (remaining, seq). Flow records are pooled on
+	// flows is a min-heap by (finish, seq). Flow records are pooled on
 	// the owning Sim's free list.
 	flows flowHeap
+	// vt is the cumulative virtual service in bytes per flow since the link
+	// last went idle; flow finish tags are expressed against it.
+	vt float64
 	// wave is scratch for same-instant completion batches, retained to
 	// avoid per-wave allocation.
 	wave []*flow
@@ -154,21 +159,22 @@ type SharedBW struct {
 
 // flow is one in-flight transfer.
 type flow struct {
-	remaining float64
-	size      float64
-	seq       uint64
-	proc      *Proc
+	// finish is the link virtual-service level at which the flow completes:
+	// the vt observed at arrival plus the flow's size. Immutable.
+	finish float64
+	size   float64
+	seq    uint64
+	proc   *Proc
 }
 
-// flowHeap is a hand-rolled binary min-heap ordered by (remaining, seq):
-// earliest completion first, ties broken by arrival order. Uniform credits
-// keep relative order stable, so the heap never needs re-sifting between
-// pushes and pops.
+// flowHeap is a hand-rolled binary min-heap ordered by (finish, seq):
+// earliest completion first, ties broken by arrival order. Finish tags are
+// immutable, so the heap never needs re-sifting between pushes and pops.
 type flowHeap []*flow
 
 func (h flowHeap) less(i, j int) bool {
-	if h[i].remaining != h[j].remaining {
-		return h[i].remaining < h[j].remaining
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
 	}
 	return h[i].seq < h[j].seq
 }
@@ -256,9 +262,10 @@ func (b *SharedBW) perFlow() float64 {
 	return r
 }
 
-// advance credits progress to all active flows for the time since last. The
-// sweep runs once per distinct instant; a same-instant arrival or departure
-// wave hits the now == last early return for every event after the first.
+// advance credits the elapsed service since last to the virtual-time
+// counter: one addition regardless of flow count. A same-instant arrival or
+// departure wave hits the now == last early return for every event after
+// the first.
 func (b *SharedBW) advance() {
 	now := b.sim.now
 	if now == b.last {
@@ -269,10 +276,7 @@ func (b *SharedBW) advance() {
 	if len(b.flows) == 0 {
 		return
 	}
-	credit := b.perFlow() * elapsed.Seconds()
-	for _, f := range b.flows {
-		f.remaining -= credit
-	}
+	b.vt += b.perFlow() * elapsed.Seconds()
 }
 
 // reschedule supersedes any pending completion and schedules the next, read
@@ -284,7 +288,7 @@ func (b *SharedBW) reschedule() {
 	if len(b.flows) == 0 {
 		return
 	}
-	minRem := b.flows[0].remaining
+	minRem := b.flows[0].finish - b.vt
 	rate := b.perFlow()
 	dt := time.Duration(math.Ceil(minRem / rate * 1e9)) // seconds -> ns, round up
 	if dt < 0 {
@@ -293,15 +297,16 @@ func (b *SharedBW) reschedule() {
 	b.sim.schedBW(b.sim.now+dt, b)
 }
 
-// complete finishes every flow whose remaining bytes have drained, waking
-// them in arrival order. The drained set pops off the heap in (remaining,
-// seq) order; an insertion sort restores arrival order (waves of equal-size
-// simultaneous arrivals pop already sorted, making the sort a linear pass).
+// complete finishes every flow whose finish tag the virtual-time counter
+// has reached, waking them in arrival order. The drained set pops off the
+// heap in (finish, seq) order; an insertion sort restores arrival order
+// (waves of equal-size simultaneous arrivals pop already sorted, making the
+// sort a linear pass).
 func (b *SharedBW) complete() {
 	b.advance()
 	const eps = 0.5 // half a byte of float slack
 	wave := b.wave[:0]
-	for len(b.flows) > 0 && b.flows[0].remaining <= eps {
+	for len(b.flows) > 0 && b.flows[0].finish-b.vt <= eps {
 		wave = append(wave, b.flows.pop())
 	}
 	for i := 1; i < len(wave); i++ {
@@ -320,6 +325,11 @@ func (b *SharedBW) complete() {
 		wave[i] = nil
 	}
 	b.wave = wave[:0]
+	if len(b.flows) == 0 {
+		// Idle link: rebase virtual time so the counter's magnitude — and
+		// the absolute error of finish-vt — is bounded by one busy period.
+		b.vt = 0
+	}
 	b.reschedule()
 }
 
@@ -359,8 +369,8 @@ func (b *SharedBW) Transfer(p *Proc, size int64) {
 	}
 	b.advance()
 	f := s.allocFlow()
-	f.remaining = float64(size)
-	f.size = f.remaining
+	f.size = float64(size)
+	f.finish = b.vt + f.size
 	f.seq = b.arrivals
 	b.arrivals++
 	f.proc = p
@@ -386,7 +396,7 @@ func (b *SharedBW) BytesMoved() float64 {
 	b.advance()
 	total := b.moved
 	for _, f := range b.flows {
-		done := f.size - f.remaining
+		done := f.size - (f.finish - b.vt)
 		if done < 0 {
 			done = 0
 		}

@@ -70,8 +70,11 @@ import (
 // results at once. Bump it whenever a change anywhere in the simulated
 // physics alters any measured number; a pure refactor that keeps traces
 // byte-identical does not need a bump. Version 2 is the pooled-event,
-// inline-fast-path kernel.
-const KernelVersion = 2
+// inline-fast-path kernel. Version 3 adds the zero-copy scatter-gather
+// data path with no-materialize reads (value-neutral) and the O(1)
+// virtual-time fair-share accounting in SharedBW, whose floating-point
+// reordering can shift completion instants by a nanosecond.
+const KernelVersion = 3
 
 // maxTime is the largest representable virtual time; Run uses it as the
 // inline-advance horizon.

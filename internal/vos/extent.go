@@ -30,6 +30,10 @@ type ExtentTree struct {
 	extents []Extent
 	// maxEnd caches the high-water mark of written bytes (the array size).
 	maxEnd int64
+	// scratch holds the visible overlapping set of the read in flight; it is
+	// retained so steady-state reads allocate nothing. Trees are confined to
+	// one target xstream, so a single buffer suffices.
+	scratch []Extent
 }
 
 // NewExtentTree returns an empty tree.
@@ -74,17 +78,68 @@ func (t *ExtentTree) Insert(offset int64, epoch Epoch, data []byte) {
 // buffer. Results are byte-for-byte those of the straightforward overlay.
 func (t *ExtentTree) Read(offset int64, length int, epoch Epoch) ([]byte, int64) {
 	end := offset + int64(length)
+	overlapping, covered := t.visible(offset, end, epoch)
+
+	// A range fully covered by one extent — the common case for aligned
+	// IOR-style transfers — is a straight copy: append allocates without
+	// zeroing, where make([]byte, length) would clear the buffer only to
+	// overwrite every byte.
+	if len(overlapping) == 1 {
+		if e := overlapping[0]; e.Offset <= offset && e.End() >= end {
+			return append([]byte(nil), e.Data[offset-e.Offset:end-e.Offset]...), covered
+		}
+	}
+
+	buf := make([]byte, length)
+	t.overlay(buf, overlapping, offset, end)
+	return buf, covered
+}
+
+// ReadInto resolves the bytes of [offset, offset+length) visible at epoch
+// into dst, which must be length bytes long; every byte of dst is written
+// (holes as zeros), so callers can reuse buffers across reads. A nil dst
+// performs the identical visibility walk without materializing any bytes —
+// the geometry-only mode backing no-materialize reads, whose covered result
+// and cost are byte-identical to the materializing call. The return value is
+// Read's covered-prefix length. Steady-state calls allocate nothing.
+func (t *ExtentTree) ReadInto(dst []byte, offset int64, length int, epoch Epoch) int64 {
+	if dst != nil && len(dst) != length {
+		panic("vos: ReadInto dst length mismatch")
+	}
+	end := offset + int64(length)
+	overlapping, covered := t.visible(offset, end, epoch)
+	if dst == nil {
+		return covered
+	}
+	// A range fully covered by one extent needs no pre-zeroing: the copy
+	// overwrites every destination byte.
+	if len(overlapping) == 1 {
+		if e := overlapping[0]; e.Offset <= offset && e.End() >= end {
+			copy(dst, e.Data[offset-e.Offset:end-e.Offset])
+			return covered
+		}
+	}
+	clear(dst)
+	t.overlay(dst, overlapping, offset, end)
+	return covered
+}
+
+// visible collects the extents overlapping [offset, end) that are visible at
+// epoch, in offset order, into the tree's scratch buffer, and returns them
+// with the covered-prefix length. The scratch slice is only valid until the
+// next visible call.
+func (t *ExtentTree) visible(offset, end int64, epoch Epoch) ([]Extent, int64) {
 	// No extent with Offset >= end can overlap; extents are offset-sorted,
 	// so everything at or past this index is irrelevant.
 	stop := sort.Search(len(t.extents), func(i int) bool { return t.extents[i].Offset >= end })
-	// Collect the visible overlapping extents in offset order.
-	var overlapping []Extent
+	overlapping := t.scratch[:0]
 	for _, e := range t.extents[:stop] {
 		if e.Epoch > epoch || e.End() <= offset {
 			continue
 		}
 		overlapping = append(overlapping, e)
 	}
+	t.scratch = overlapping
 	// The covered prefix is an interval union walk: extents arrive in
 	// offset order, so the prefix extends while each next extent starts at
 	// or before the current frontier.
@@ -100,24 +155,25 @@ func (t *ExtentTree) Read(offset int64, length int, epoch Epoch) ([]byte, int64)
 	if prefix > end {
 		prefix = end
 	}
-	covered := prefix - offset
+	return overlapping, prefix - offset
+}
 
-	// A range fully covered by one extent — the common case for aligned
-	// IOR-style transfers — is a straight copy: append allocates without
-	// zeroing, where make([]byte, length) would clear the buffer only to
-	// overwrite every byte.
-	if len(overlapping) == 1 {
-		if e := overlapping[0]; e.Offset <= offset && e.End() >= end {
-			return append([]byte(nil), e.Data[offset-e.Offset:end-e.Offset]...), covered
+// overlay copies the range intersection of each extent into buf (whose
+// origin is offset). Overlap resolution must be epoch-ordered (the highest
+// epoch wins for every byte), so the overlapping set is sorted by epoch
+// first; the insertion sort is stable, keeping equal-epoch extents in offset
+// order — exactly the order the (offset, epoch)-sorted tree would overlay
+// them in — and allocation-free, unlike sort.SliceStable.
+func (t *ExtentTree) overlay(buf []byte, overlapping []Extent, offset, end int64) {
+	for i := 1; i < len(overlapping); i++ {
+		e := overlapping[i]
+		j := i
+		for j > 0 && overlapping[j-1].Epoch > e.Epoch {
+			overlapping[j] = overlapping[j-1]
+			j--
 		}
+		overlapping[j] = e
 	}
-
-	buf := make([]byte, length)
-	// Overlap resolution must be epoch-ordered (the highest epoch wins for
-	// every byte), so sort the overlapping set by epoch before overlay; the
-	// stable sort keeps equal-epoch extents in offset order, exactly the
-	// order the (offset, epoch)-sorted tree would overlay them in.
-	sort.SliceStable(overlapping, func(i, j int) bool { return overlapping[i].Epoch < overlapping[j].Epoch })
 	for _, e := range overlapping {
 		lo := e.Offset
 		if lo < offset {
@@ -129,7 +185,6 @@ func (t *ExtentTree) Read(offset int64, length int, epoch Epoch) ([]byte, int64)
 		}
 		copy(buf[lo-offset:hi-offset], e.Data[lo-e.Offset:hi-e.Offset])
 	}
-	return buf, covered
 }
 
 // VisibleSize returns one past the last byte visible at epoch.

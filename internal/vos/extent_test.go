@@ -167,6 +167,41 @@ func TestExtentMatchesReferenceBuffer(t *testing.T) {
 	}
 }
 
+// FuzzReadIntoMatchesRead pins the zero-copy contract: for any write
+// sequence and any read window, ReadInto fills the caller's buffer with
+// exactly the bytes the allocating Read returns (holes as zeros, even over a
+// dirty reused buffer), reports the identical covered prefix, and a nil
+// destination reports that same prefix while writing nothing.
+func FuzzReadIntoMatchesRead(f *testing.F) {
+	f.Add([]byte{0, 0, 8, 'a', 1, 0, 4, 'b'}, uint16(0), uint16(16))
+	f.Add([]byte{0, 64, 32, 'x'}, uint16(60), uint16(100))
+	f.Add([]byte{}, uint16(5), uint16(9))
+	f.Fuzz(func(t *testing.T, writes []byte, offRaw, lenRaw uint16) {
+		const space = 1 << 12
+		tr := NewExtentTree()
+		for i := 0; i+3 < len(writes); i += 4 {
+			off := int64(writes[i])<<4 | int64(writes[i+1])>>4
+			l := int(writes[i+2]%64) + 1
+			tr.Insert(off, Epoch(i/4+1), bytes.Repeat([]byte{writes[i+3]}, l))
+		}
+		off := int64(offRaw % space)
+		length := int(lenRaw%512) + 1
+
+		want, wantCovered := tr.Read(off, length, EpochMax)
+		dst := bytes.Repeat([]byte{0xee}, length) // dirty, as a reused buffer would be
+		gotCovered := tr.ReadInto(dst, off, length, EpochMax)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("ReadInto([%d,%d)) = %v, Read = %v", off, off+int64(length), dst, want)
+		}
+		if gotCovered != wantCovered {
+			t.Fatalf("ReadInto covered = %d, Read covered = %d", gotCovered, wantCovered)
+		}
+		if discard := tr.ReadInto(nil, off, length, EpochMax); discard != wantCovered {
+			t.Fatalf("discard ReadInto covered = %d, want %d", discard, wantCovered)
+		}
+	})
+}
+
 func TestExtentInsertCopiesData(t *testing.T) {
 	tr := NewExtentTree()
 	buf := []byte("orig")

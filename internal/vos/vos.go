@@ -203,6 +203,23 @@ func (c *Container) FetchArray(oid ObjectID, dk, ak []byte, epoch Epoch, offset 
 	return buf, nil
 }
 
+// FetchArrayInto reads length bytes at offset visible at epoch into dst,
+// which must be length bytes long (holes read as zeros; every byte of dst is
+// written). A nil dst performs the identical lookup and visibility walk
+// without materializing bytes — absence semantics (ErrNotFound, ErrPunched)
+// are exactly FetchArray's either way.
+func (c *Container) FetchArrayInto(oid ObjectID, dk, ak []byte, epoch Epoch, offset int64, length int, dst []byte) error {
+	a, err := c.lookupAkey(oid, dk, ak, epoch)
+	if err != nil {
+		return err
+	}
+	if a.kind != kindArray {
+		return fmt.Errorf("%w: akey %q is not an array", ErrNotFound, ak)
+	}
+	a.extents.ReadInto(dst, offset, length, epoch)
+	return nil
+}
+
 // ArraySize returns the akey's visible high-water mark at epoch, or 0 when
 // the akey does not exist.
 func (c *Container) ArraySize(oid ObjectID, dk, ak []byte, epoch Epoch) int64 {
