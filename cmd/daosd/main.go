@@ -1,19 +1,33 @@
 // Command daosd serves the sharded multi-study scheduler (internal/studysvc):
 // a long-lived HTTP service that accepts study batch submissions, shards
-// their (variant, node-count) points across a bounded local worker pool,
-// consults the content-addressed point cache before simulating, and streams
-// completed points back to each client as NDJSON. Results through the
-// service are byte-identical to in-process core.Runner sweeps.
+// their (variant, node-count) points across a bounded worker pool, consults
+// the content-addressed point cache before simulating, and streams completed
+// points back to each client as NDJSON. Results through the service are
+// byte-identical to in-process core.Runner sweeps.
+//
+// With -workers, daosd runs as a fleet coordinator: each listed peer daosd
+// joins the pool as a remote worker executing point jobs shipped over the
+// /v1/points protocol leg. A peer that dies mid-point costs nothing but a
+// retry — the job is re-dispatched to a healthy worker, the dead peer is
+// marked down and re-probed via /v1/healthz with exponential backoff, and
+// it rejoins the pool when it answers. Because jobs carry their derived
+// seeds, fleet output stays byte-identical to a single in-process run at
+// any topology, under any worker loss that leaves at least one worker.
 //
 //	daosd                      # listen on 127.0.0.1:9464, GOMAXPROCS workers
 //	daosd -addr :9464          # listen on all interfaces
 //	daosd -parallel 8          # shard width: at most 8 concurrent points
 //	daosd -cache               # memoize points under ~/.daosim/cache
 //	daosd -cache-dir .c        # memoize points under ./.c (implies -cache)
+//	daosd -workers http://h1:9464,http://h2:9464   # coordinate a fleet
+//	daosd -workers ... -parallel 2 -remote-slots 4 # plus 2 local slots, 4 in-flight points per peer
+//
+// With -workers, -parallel counts *local* execution slots and defaults to
+// zero — a pure coordinator that simulates nothing itself.
 //
 // Submit with cmd/studyctl, or point `figures -server addr` at it. On
 // SIGINT/SIGTERM the server drains in-flight points and reports its cache
-// ledger before exiting.
+// ledger and fleet summary before exiting.
 package main
 
 import (
@@ -26,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -35,10 +50,12 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:9464", "listen address (host:port)")
-		parallel = flag.Int("parallel", 0, "worker pool width: max concurrent sweep points (0 = all cores)")
-		cacheOn  = flag.Bool("cache", false, "memoize sweep points (disk tier under ~/.daosim/cache unless -cache-dir overrides)")
-		cacheDir = flag.String("cache-dir", "", "on-disk cache tier directory (implies -cache; explicitly empty = memory-only)")
+		addr        = flag.String("addr", "127.0.0.1:9464", "listen address (host:port)")
+		parallel    = flag.Int("parallel", 0, "local worker slots: max concurrent local sweep points (0 = all cores, or no local slots with -workers)")
+		workers     = flag.String("workers", "", "comma-separated peer daosd URLs to coordinate as remote workers")
+		remoteSlots = flag.Int("remote-slots", 1, "point jobs kept in flight per remote worker")
+		cacheOn     = flag.Bool("cache", false, "memoize sweep points (disk tier under ~/.daosim/cache unless -cache-dir overrides)")
+		cacheDir    = flag.String("cache-dir", "", "on-disk cache tier directory (implies -cache; explicitly empty = memory-only)")
 	)
 	flag.Parse()
 
@@ -46,7 +63,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := studysvc.New(studysvc.Config{Workers: *parallel, Cache: pointCache})
+	var remotes []string
+	for _, w := range strings.Split(*workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			remotes = append(remotes, w)
+		}
+	}
+	srv := studysvc.New(studysvc.Config{
+		Workers:     *parallel,
+		Remotes:     remotes,
+		RemoteSlots: *remoteSlots,
+		Cache:       pointCache,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -59,6 +87,20 @@ func main() {
 	// The listening line is the readiness marker scripts and CI wait for.
 	fmt.Printf("daosd: listening on http://%s (workers=%d, cache=%s, GOMAXPROCS=%d)\n",
 		ln.Addr(), srv.Workers(), cacheState, runtime.GOMAXPROCS(0))
+	if len(remotes) > 0 {
+		// One startup probe per peer, informational only: a worker that is
+		// still booting will be probed again the first time a job fails on
+		// it, so a coordinator never refuses to start over a slow fleet.
+		for _, r := range remotes {
+			state := "up"
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := studysvc.NewClient(r).Health(ctx); err != nil {
+				state = fmt.Sprintf("unreachable (%v)", err)
+			}
+			cancel()
+			fmt.Printf("daosd: fleet worker %s: %s\n", r, state)
+		}
+	}
 
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
@@ -93,5 +135,12 @@ func main() {
 	srv.Close()
 	if pointCache != nil {
 		fmt.Println(pointCache.Stats())
+	}
+	if len(remotes) > 0 {
+		fmt.Printf("daosd: fleet retried %d job(s)\n", srv.Retries())
+		for _, m := range srv.Fleet() {
+			fmt.Printf("daosd: fleet worker %-32s %-4s points=%d failures=%d probes=%d readmissions=%d\n",
+				m.Name, m.State, m.Points, m.Failures, m.Probes, m.Readmissions)
+		}
 	}
 }

@@ -2,43 +2,75 @@
 // subcommand routes the paper's figure sweeps through the server — the
 // same grids cmd/figures runs in-process — streaming per-point progress as
 // results land and rendering the identical tables, claim checks, and CSV.
+// The stats subcommand snapshots the server's scheduler, fleet, and cache
+// counters, including per-worker up/down state on a coordinator.
 //
 //	studyctl submit -server 127.0.0.1:9464                 # both figures
 //	studyctl submit -server :9464 -quick -fig 1 -progress  # stream Fig. 1 points
 //	studyctl submit -server :9464 -csv out.csv             # dump raw series
 //	studyctl health -server :9464                          # readiness probe
+//	studyctl stats -server :9464                           # fleet + cache counters
+//
+// Exit codes separate the failure planes: 1 is a transport or usage
+// failure (nothing trustworthy came back), exit code 2 means the sweep
+// completed but some points recorded errors — the tables rendered, the
+// failing cells read as zeros, and the error count was printed.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 
 	"daosim/internal/bench"
+	"daosim/internal/core"
 	"daosim/internal/studysvc"
 )
 
+// Exit codes. Transport and usage failures exit 1; a completed sweep whose
+// points carried errors exits exitPointErrors, so scripts can tell "the
+// server was unreachable" from "the sweep ran and some cells are bad".
+const (
+	exitFailure     = 1
+	exitPointErrors = 2
+)
+
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		log.Fatal(err)
+	err := run(os.Args[1:], os.Stdout)
+	if err == nil {
+		return
 	}
+	fmt.Fprintf(os.Stderr, "studyctl: %v\n", err)
+	os.Exit(exitCode(err))
+}
+
+// exitCode maps a run error to the process exit code: point failures are
+// distinct from everything else.
+func exitCode(err error) int {
+	var pe *core.PointErrors
+	if errors.As(err, &pe) {
+		return exitPointErrors
+	}
+	return exitFailure
 }
 
 // run executes one studyctl invocation, writing human output to out.
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("studyctl: usage: studyctl submit|health -server host:port [flags]")
+		return fmt.Errorf("studyctl: usage: studyctl submit|health|stats -server host:port [flags]")
 	}
 	switch args[0] {
 	case "submit":
 		return runSubmit(args[1:], out)
 	case "health":
 		return runHealth(args[1:], out)
+	case "stats":
+		return runStats(args[1:], out)
 	default:
-		return fmt.Errorf("studyctl: unknown subcommand %q (want submit or health)", args[0])
+		return fmt.Errorf("studyctl: unknown subcommand %q (want submit, health, or stats)", args[0])
 	}
 }
 
@@ -79,14 +111,22 @@ func runSubmit(args []string, out io.Writer) error {
 	}
 
 	csv, err := bench.RunFigures(opts, *fig, out)
-	if err != nil {
+	var pe *core.PointErrors
+	if err != nil && !errors.As(err, &pe) {
+		// Transport/protocol failure: the sweep never completed.
 		return err
 	}
 
-	if err := bench.WriteCSV(*csvPath, csv, out); err != nil {
-		return err
+	if werr := bench.WriteCSV(*csvPath, csv, out); werr != nil {
+		return werr
 	}
 	fmt.Fprintln(out, client.Ledger())
+	if pe != nil {
+		// The sweep completed and rendered, but not cleanly: say how many
+		// cells are bad and exit distinctly (see exitCode).
+		fmt.Fprintf(out, "studyctl: %d point error(s) recorded in the sweep\n", pe.Count)
+		return err
+	}
 	return nil
 }
 
@@ -104,5 +144,31 @@ func runHealth(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(out, "ok")
+	return nil
+}
+
+// runStats snapshots the server's scheduler, fleet, and cache counters.
+func runStats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("studyctl stats", flag.ContinueOnError)
+	server := fs.String("server", "", "daosd address (host:port or http:// URL)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *server == "" {
+		return fmt.Errorf("studyctl: -server is required")
+	}
+	st, err := studysvc.NewClient(*server).Stats(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "workers: %d\n", st.Workers)
+	fmt.Fprintf(out, "retried jobs: %d\n", st.Retries)
+	for _, m := range st.Fleet {
+		fmt.Fprintf(out, "  worker %-32s %-4s points=%d failures=%d probes=%d readmissions=%d\n",
+			m.Name, m.State, m.Points, m.Failures, m.Probes, m.Readmissions)
+	}
+	if st.Cache != nil {
+		fmt.Fprintf(out, "cache: %v\n", *st.Cache)
+	}
 	return nil
 }

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"daosim/internal/core"
 	"daosim/internal/studysvc"
 )
 
@@ -78,5 +82,80 @@ func TestSubmitAgainstServer(t *testing.T) {
 		if !strings.Contains(out, marker) {
 			t.Fatalf("submit output missing %q:\n%s", marker, out)
 		}
+	}
+}
+
+// TestExitCodesSeparateFailurePlanes pins the satellite contract: point
+// errors exit with a code distinct from transport failures, so scripts can
+// tell "some cells are bad" from "nothing trustworthy came back".
+func TestExitCodesSeparateFailurePlanes(t *testing.T) {
+	if got := exitCode(errors.New("connection refused")); got != exitFailure {
+		t.Fatalf("transport failure exit code = %d, want %d", got, exitFailure)
+	}
+	pe := &core.PointErrors{Count: 3, Err: errors.New("3 cells bad")}
+	if got := exitCode(pe); got != exitPointErrors {
+		t.Fatalf("point-errors exit code = %d, want %d", got, exitPointErrors)
+	}
+	if got := exitCode(fmt.Errorf("wrapped: %w", pe)); got != exitPointErrors {
+		t.Fatalf("wrapped point-errors exit code = %d, want %d", got, exitPointErrors)
+	}
+}
+
+// TestSubmitTransportFailureExitsOne: an unreachable server is a transport
+// failure — run returns a non-PointErrors error that maps to exit code 1.
+func TestSubmitTransportFailureExitsOne(t *testing.T) {
+	ts := httptest.NewServer(nil)
+	ts.Close() // nothing listens here anymore
+	var buf strings.Builder
+	err := run([]string{"submit", "-server", ts.URL, "-quick", "-fig", "2"}, &buf)
+	if err == nil {
+		t.Fatal("submit against a dead server returned nil")
+	}
+	if got := exitCode(err); got != exitFailure {
+		t.Fatalf("dead-server exit code = %d, want %d (error: %v)", got, exitFailure, err)
+	}
+}
+
+// errWorker fails every point at the point level (a result, not a worker
+// death), so a sweep completes with every cell recording an error.
+type errWorker struct{}
+
+func (errWorker) RunPoint(ctx context.Context, j core.PointJob) (core.Point, error) {
+	return core.Point{Nodes: j.Nodes, Err: "synthetic point failure"}, nil
+}
+
+// TestSubmitPointErrorsExitTwo: a sweep that completes but carries point
+// errors must render its tables, print the error count, and map to the
+// distinct exit code.
+func TestSubmitPointErrorsExitTwo(t *testing.T) {
+	srv := studysvc.New(studysvc.Config{
+		Members: []studysvc.Member{{Name: "bad", Worker: errWorker{}}},
+	})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	var buf strings.Builder
+	err := run([]string{"submit", "-server", ts.URL, "-quick", "-fig", "2"}, &buf)
+	if err == nil {
+		t.Fatal("sweep with failing points returned nil")
+	}
+	if got := exitCode(err); got != exitPointErrors {
+		t.Fatalf("point-errors exit code = %d, want %d (error: %v)", got, exitPointErrors, err)
+	}
+	out := buf.String()
+	for _, marker := range []string{
+		"=== Figure 2",            // tables still rendered
+		"point error(s) recorded", // count printed
+		"server cache: off",       // ledger still printed
+	} {
+		if !strings.Contains(out, marker) {
+			t.Fatalf("point-errors output missing %q:\n%s", marker, out)
+		}
+	}
+	if !strings.Contains(out, "6 point error(s)") {
+		t.Fatalf("error count not printed:\n%s", out)
 	}
 }

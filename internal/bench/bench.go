@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -107,15 +108,36 @@ func Figure2(o Options) (*core.Study, error) {
 // cmd/figures and cmd/studyctl, so the two binaries cannot drift apart in
 // what they print. The returned string is the accumulated raw-series CSV
 // of every figure that ran.
+//
+// A sweep that completed with failed points (the error is a
+// *core.PointErrors) still renders — the grid is populated, failed cells
+// read as zeros — and the remaining figures still run; the per-point
+// failures come back joined, typed so callers can exit distinctly. Any
+// other error (transport failure, truncated server stream) aborts
+// immediately: there is nothing trustworthy to render.
 func RunFigures(o Options, fig int, out io.Writer) (string, error) {
 	if fig < 0 || fig > 2 {
 		return "", fmt.Errorf("bench: no figure %d (want 1, 2, or 0 for both)", fig)
 	}
 	var csv string
 	var easy, hard *core.Study
+	var pointErrs []error
+	failed := 0
+	sweep := func(st *core.Study, err error) (*core.Study, error) {
+		if err == nil {
+			return st, nil
+		}
+		var pe *core.PointErrors
+		if !errors.As(err, &pe) || st == nil {
+			return nil, err
+		}
+		pointErrs = append(pointErrs, pe.Err)
+		failed += pe.Count
+		return st, nil
+	}
 	var err error
 	if fig == 0 || fig == 1 {
-		if easy, err = Figure1(o); err != nil {
+		if easy, err = sweep(Figure1(o)); err != nil {
 			return csv, err
 		}
 		fmt.Fprintln(out, Render("Figure 1: IOR file-per-process (easy)", easy))
@@ -125,7 +147,7 @@ func RunFigures(o Options, fig int, out io.Writer) (string, error) {
 		csv += easy.CSV()
 	}
 	if fig == 0 || fig == 2 {
-		if hard, err = Figure2(o); err != nil {
+		if hard, err = sweep(Figure2(o)); err != nil {
 			return csv, err
 		}
 		fmt.Fprintln(out, Render("Figure 2: IOR shared-file (hard)", hard))
@@ -137,6 +159,9 @@ func RunFigures(o Options, fig int, out io.Writer) (string, error) {
 	if easy != nil && hard != nil {
 		fmt.Fprintln(out, "Cross-figure claim:")
 		fmt.Fprintln(out, RenderClaims(core.CheckCrossClaims(easy, hard)))
+	}
+	if len(pointErrs) > 0 {
+		return csv, &core.PointErrors{Count: failed, Err: errors.Join(pointErrs...)}
 	}
 	return csv, nil
 }

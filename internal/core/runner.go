@@ -142,9 +142,32 @@ func (p Point) CacheEntry() cache.Entry {
 	return cache.Entry{WriteGiBs: p.WriteGiBs, ReadGiBs: p.ReadGiBs}
 }
 
+// PointErrors is the error a sweep returns when it ran to completion but
+// some points recorded failures: every study is populated (failed points
+// carry their message in Point.Err), and Count says how many points failed.
+// It renders identically to the joined per-point errors, so callers that
+// only print it see no difference — but callers that need to distinguish
+// "the sweep finished with bad points" from "the sweep never finished"
+// (transport failure, truncated stream) can errors.As for it. cmd/studyctl
+// uses exactly that split for its exit codes.
+type PointErrors struct {
+	// Count is the number of failed points joined in Err.
+	Count int
+	// Err is the joined per-point failures, in grid order, formatted
+	// exactly as Runner.RunAll has always reported them.
+	Err error
+}
+
+// Error implements error, rendering the joined point failures verbatim.
+func (e *PointErrors) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the joined per-point errors to errors.Is/As.
+func (e *PointErrors) Unwrap() error { return e.Err }
+
 // Finish completes a Decompose batch after every job's Point has been
 // stored: it stamps the batch wall-clock on each study and joins the point
 // failures in grid order, formatted exactly as Runner.RunAll reports them.
+// A non-nil return is always a *PointErrors.
 func Finish(studies []*Study, elapsed time.Duration) error {
 	var errs []error
 	for _, st := range studies {
@@ -157,7 +180,10 @@ func Finish(studies []*Study, elapsed time.Duration) error {
 			}
 		}
 	}
-	return errors.Join(errs...)
+	if len(errs) == 0 {
+		return nil
+	}
+	return &PointErrors{Count: len(errs), Err: errors.Join(errs...)}
 }
 
 // RunAll executes several independent study sweeps on one shared worker

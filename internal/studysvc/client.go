@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -16,14 +17,40 @@ import (
 
 var _ core.StudyRunner = (*Client)(nil)
 
+// Default transport bounds for NewClient: connection setup and
+// time-to-response-header are capped so a hung or unreachable peer
+// surfaces as an error instead of blocking forever, while the response
+// body — the result stream, which legitimately lasts as long as the sweep
+// — stays unbounded.
+const (
+	// DefaultDialTimeout caps TCP connection establishment.
+	DefaultDialTimeout = 10 * time.Second
+	// DefaultHeaderTimeout caps the wait for the response status line and
+	// headers after the request is written. The server commits the status
+	// before scheduling any work, so a healthy peer answers within network
+	// latency regardless of sweep size.
+	DefaultHeaderTimeout = 30 * time.Second
+)
+
+// newHTTPClient builds the default transport: bounded dial and
+// response-header waits, unbounded streaming body.
+func newHTTPClient(dial, header time.Duration) *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		DialContext:           (&net.Dialer{Timeout: dial}).DialContext,
+		ResponseHeaderTimeout: header,
+	}}
+}
+
 // Client submits study batches to a daosd server and reassembles the
 // streamed points into *core.Study values indistinguishable from an
 // in-process run. It implements core.StudyRunner, so anything that takes a
 // runner — every bench experiment, cmd/figures — can execute through a
 // server by swapping this in.
 type Client struct {
-	// HTTP is the transport (default http.DefaultClient). Streams are
-	// long-lived: give a custom client no overall Timeout.
+	// HTTP is the transport. NewClient installs a client with bounded
+	// connect and response-header timeouts and no overall Timeout (streams
+	// are long-lived); replace it to tune, or leave nil on a hand-built
+	// Client to fall back to http.DefaultClient.
 	HTTP *http.Client
 	// OnPoint, when set, observes every streamed point as it arrives —
 	// progress reporting for interactive callers. It runs on the stream
@@ -43,12 +70,15 @@ func NewClient(addr string) *Client {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	return &Client{base: base}
+	return &Client{
+		base: base,
+		HTTP: newHTTPClient(DefaultDialTimeout, DefaultHeaderTimeout),
+	}
 }
 
 // Ledger accumulates the trailer counters of every submission a Client has
 // completed: the client-side view of how much work the server's cache
-// absorbed.
+// absorbed and how often its fleet had to retry.
 type Ledger struct {
 	Requests     int
 	Points       int
@@ -56,21 +86,32 @@ type Ledger struct {
 	CacheHits    int
 	CacheMisses  int
 	Errors       int
+	// Retries counts jobs the server re-dispatched after losing a worker
+	// mid-point — the fleet's robustness at work, visible per batch.
+	Retries int
 }
 
 // String renders the ledger in the cache-stats idiom, including the
-// "(100.0% hits)" marker CI greps for on warm runs.
+// "(100.0% hits)" marker CI greps for on warm runs. A fleet that had to
+// retry jobs appends its count, so worker loss is visible in every
+// studyctl/figures run that survived one.
 func (l Ledger) String() string {
+	s := ""
 	if !l.CacheEnabled {
-		return fmt.Sprintf("server cache: off (%d points over %d requests)", l.Points, l.Requests)
+		s = fmt.Sprintf("server cache: off (%d points over %d requests)", l.Points, l.Requests)
+	} else {
+		lookups := l.CacheHits + l.CacheMisses
+		rate := 0.0
+		if lookups > 0 {
+			rate = 100 * float64(l.CacheHits) / float64(lookups)
+		}
+		s = fmt.Sprintf("server cache: %d lookups, %d hits, %d misses (%.1f%% hits), %d points over %d requests",
+			lookups, l.CacheHits, l.CacheMisses, rate, l.Points, l.Requests)
 	}
-	lookups := l.CacheHits + l.CacheMisses
-	rate := 0.0
-	if lookups > 0 {
-		rate = 100 * float64(l.CacheHits) / float64(lookups)
+	if l.Retries > 0 {
+		s += fmt.Sprintf("; fleet retried %d job(s)", l.Retries)
 	}
-	return fmt.Sprintf("server cache: %d lookups, %d hits, %d misses (%.1f%% hits), %d points over %d requests",
-		lookups, l.CacheHits, l.CacheMisses, rate, l.Points, l.Requests)
+	return s
 }
 
 // Ledger returns the accumulated submission counters.
@@ -98,25 +139,13 @@ func (c *Client) RunAll(cfgs []core.Config) ([]*core.Study, error) {
 	return c.Submit(context.Background(), cfgs)
 }
 
-// Submit posts the batch and consumes the result stream. The returned
-// studies are assembled from the client's own core.Decompose of cfgs —
-// identical to the server's by construction — with each streamed point
-// dropped into its slot, so Table and CSV render byte-identically to an
-// in-process run. A nil error means the stream completed with a trailer
-// and no point carried a failure.
-func (c *Client) Submit(ctx context.Context, cfgs []core.Config) ([]*core.Study, error) {
-	if len(cfgs) == 0 {
-		// Mirror core.Runner.RunAll(nil) without a round trip; the server
-		// rejects empty submissions as malformed.
-		studies, _ := core.Decompose(cfgs)
-		return studies, nil
-	}
-	start := time.Now()
-	body, err := json.Marshal(SubmitRequest{Configs: cfgs})
+// post opens one submission exchange and returns the committed stream.
+func (c *Client) post(ctx context.Context, path string, payload any) (io.ReadCloser, error) {
+	body, err := json.Marshal(payload)
 	if err != nil {
 		return nil, fmt.Errorf("studysvc: encode submit: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+PathSubmit, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("studysvc: build submit: %w", err)
 	}
@@ -129,15 +158,75 @@ func (c *Client) Submit(ctx context.Context, cfgs []core.Config) ([]*core.Study,
 	if err != nil {
 		return nil, fmt.Errorf("studysvc: submit: %w", err)
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		diag, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
 		return nil, fmt.Errorf("studysvc: server rejected submit: %s: %s",
 			resp.Status, strings.TrimSpace(string(diag)))
 	}
+	return resp.Body, nil
+}
+
+// consumePoints drains n point lines plus the trailer from a committed
+// stream, dispatching each point through fill. Any malformed, short, or
+// severed stream comes back as an explicit error naming how many of the
+// expected points arrived — a partially-written line or a missing trailer
+// is never silently accepted as a complete batch. It is the one stream
+// reader shared by Submit (config batches) and SubmitJobs (the
+// coordinator-to-worker leg), so both ends of a fleet detect mid-stream
+// worker death identically.
+func consumePoints(dec *json.Decoder, n int, fill func(StreamPoint) error) (Trailer, error) {
+	// A point line is distinguished from a premature trailer by "done".
+	type line struct {
+		StreamPoint
+		Done bool `json:"done"`
+	}
+	for seen := 0; seen < n; seen++ {
+		var ln line
+		if err := dec.Decode(&ln); err != nil {
+			return Trailer{}, fmt.Errorf("studysvc: stream truncated after %d/%d points: %w", seen, n, err)
+		}
+		if ln.Done {
+			return Trailer{}, fmt.Errorf("studysvc: stream ended early after %d/%d points", seen, n)
+		}
+		if err := fill(ln.StreamPoint); err != nil {
+			return Trailer{}, err
+		}
+	}
+	var t Trailer
+	if err := dec.Decode(&t); err != nil {
+		return Trailer{}, fmt.Errorf("studysvc: stream missing trailer: %w", err)
+	}
+	if !t.Done {
+		return Trailer{}, fmt.Errorf("studysvc: malformed trailer: %+v", t)
+	}
+	return t, nil
+}
+
+// Submit posts the batch and consumes the result stream. The returned
+// studies are assembled from the client's own core.Decompose of cfgs —
+// identical to the server's by construction — with each streamed point
+// dropped into its slot, so Table and CSV render byte-identically to an
+// in-process run. A nil error means the stream completed with a trailer
+// and no point carried a failure; a stream severed mid-batch (server
+// crash, connection reset, missing trailer) returns nil studies and an
+// error naming how many points arrived.
+func (c *Client) Submit(ctx context.Context, cfgs []core.Config) ([]*core.Study, error) {
+	if len(cfgs) == 0 {
+		// Mirror core.Runner.RunAll(nil) without a round trip; the server
+		// rejects empty submissions as malformed.
+		studies, _ := core.Decompose(cfgs)
+		return studies, nil
+	}
+	start := time.Now()
+	body, err := c.post(ctx, PathSubmit, SubmitRequest{Configs: cfgs})
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
 
 	studies, jobs := core.Decompose(cfgs)
-	dec := json.NewDecoder(resp.Body)
+	dec := json.NewDecoder(body)
 
 	var h Header
 	if err := dec.Decode(&h); err != nil {
@@ -148,32 +237,19 @@ func (c *Client) Submit(ctx context.Context, cfgs []core.Config) ([]*core.Study,
 			h.Points, h.Studies, len(jobs), len(cfgs))
 	}
 
-	// A point line is distinguished from a premature trailer by "done".
-	type line struct {
-		StreamPoint
-		Done bool `json:"done"`
-	}
 	filled := make([]bool, len(jobs))
 	slot := make(map[[3]int]int, len(jobs))
 	for i, j := range jobs {
 		slot[[3]int{j.Study, j.Series, j.Index}] = i
 	}
-	for seen := 0; seen < len(jobs); seen++ {
-		var ln line
-		if err := dec.Decode(&ln); err != nil {
-			return nil, fmt.Errorf("studysvc: stream truncated after %d/%d points: %w", seen, len(jobs), err)
-		}
-		if ln.Done {
-			return nil, fmt.Errorf("studysvc: stream ended early after %d/%d points", seen, len(jobs))
-		}
-		sp := ln.StreamPoint
+	t, err := consumePoints(dec, len(jobs), func(sp StreamPoint) error {
 		i, ok := slot[[3]int{sp.Study, sp.Series, sp.Index}]
 		if !ok {
-			return nil, fmt.Errorf("studysvc: stream carried a point outside the batch grid (study=%d series=%d index=%d)",
+			return fmt.Errorf("studysvc: stream carried a point outside the batch grid (study=%d series=%d index=%d)",
 				sp.Study, sp.Series, sp.Index)
 		}
 		if filled[i] {
-			return nil, fmt.Errorf("studysvc: stream carried a duplicate point (study=%d series=%d index=%d)",
+			return fmt.Errorf("studysvc: stream carried a duplicate point (study=%d series=%d index=%d)",
 				sp.Study, sp.Series, sp.Index)
 		}
 		filled[i] = true
@@ -181,14 +257,10 @@ func (c *Client) Submit(ctx context.Context, cfgs []core.Config) ([]*core.Study,
 		if c.OnPoint != nil {
 			c.OnPoint(sp)
 		}
-	}
-
-	var t Trailer
-	if err := dec.Decode(&t); err != nil {
-		return nil, fmt.Errorf("studysvc: stream missing trailer: %w", err)
-	}
-	if !t.Done {
-		return nil, fmt.Errorf("studysvc: malformed trailer: %+v", t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	c.mu.Lock()
 	c.ledger.Requests++
@@ -197,9 +269,62 @@ func (c *Client) Submit(ctx context.Context, cfgs []core.Config) ([]*core.Study,
 	c.ledger.CacheHits += t.CacheHits
 	c.ledger.CacheMisses += t.CacheMisses
 	c.ledger.Errors += t.Errors
+	c.ledger.Retries += t.Retries
 	c.mu.Unlock()
 
 	return studies, core.Finish(studies, time.Since(start))
+}
+
+// SubmitJobs posts pre-decomposed point jobs to the server's /v1/points
+// endpoint and returns their results in input order. It is the
+// coordinator-to-worker leg of a daosd fleet (see RemoteWorker): jobs
+// travel verbatim — seed, coordinates, defaulted config — so the peer's
+// results are byte-identical to local execution. Any failure to deliver
+// all the points (connect failure, rejected submit, stream severed
+// mid-batch, missing trailer) is the returned error; the caller retries
+// on another worker.
+func (c *Client) SubmitJobs(ctx context.Context, jobs []core.PointJob) ([]core.Point, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	body, err := c.post(ctx, PathSubmitPoints, PointsRequest{Jobs: jobs})
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+
+	dec := json.NewDecoder(body)
+	var h Header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("studysvc: read stream header: %w", err)
+	}
+	if h.Points != len(jobs) {
+		return nil, fmt.Errorf("studysvc: server accepted %d point jobs, client sent %d", h.Points, len(jobs))
+	}
+	pts := make([]core.Point, len(jobs))
+	filled := make([]bool, len(jobs))
+	slot := make(map[[3]int]int, len(jobs))
+	for i, j := range jobs {
+		slot[[3]int{j.Study, j.Series, j.Index}] = i
+	}
+	_, err = consumePoints(dec, len(jobs), func(sp StreamPoint) error {
+		i, ok := slot[[3]int{sp.Study, sp.Series, sp.Index}]
+		if !ok {
+			return fmt.Errorf("studysvc: stream carried a point outside the job batch (study=%d series=%d index=%d)",
+				sp.Study, sp.Series, sp.Index)
+		}
+		if filled[i] {
+			return fmt.Errorf("studysvc: stream carried a duplicate point (study=%d series=%d index=%d)",
+				sp.Study, sp.Series, sp.Index)
+		}
+		filled[i] = true
+		pts[i] = sp.toPoint()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
 }
 
 // Health checks the server's PathHealth endpoint.
@@ -222,4 +347,30 @@ func (c *Client) Health(ctx context.Context) error {
 		return fmt.Errorf("studysvc: health: %s", resp.Status)
 	}
 	return nil
+}
+
+// Stats fetches the server's scheduler, fleet, and cache counters from
+// PathStats.
+func (c *Client) Stats(ctx context.Context) (ServerStats, error) {
+	var st ServerStats
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathStats, nil)
+	if err != nil {
+		return st, err
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return st, fmt.Errorf("studysvc: stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("studysvc: stats: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("studysvc: decode stats: %w", err)
+	}
+	return st, nil
 }

@@ -2,9 +2,13 @@ package studysvc
 
 import (
 	"context"
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"daosim/internal/cache"
 	"daosim/internal/core"
@@ -160,5 +164,158 @@ func TestE2EPointFailuresPropagate(t *testing.T) {
 	}
 	if l := client.Ledger(); l.Errors != len(cfgs[0].Nodes) {
 		t.Fatalf("trailer error count: want %d, got %+v", len(cfgs[0].Nodes), l)
+	}
+}
+
+// TestE2EFleetByteIdenticalColdAndWarm is the tentpole acceptance test: a
+// pure coordinator (no local slots) dispatching to two loopback worker
+// daosds must render the quick figure grids byte-identically to a direct
+// in-process run — cold (every point shipped to a peer over /v1/points)
+// and warm (every point replayed from the coordinator's cache).
+func TestE2EFleetByteIdenticalColdAndWarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-simulation fleet e2e; the -race -short job covers the fleet scheduler via the stub tests in fleet_test.go")
+	}
+	cfgs := quickFigureConfigs(t)
+	direct, err := (&core.Runner{}).RunAll(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(direct)
+	points := 0
+	for _, st := range direct {
+		points += len(st.Series) * len(st.Config.Nodes)
+	}
+
+	_, w1 := startServer(t, Config{Workers: 1})
+	_, w2 := startServer(t, Config{Workers: 1})
+	c, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, cts := startServer(t, Config{
+		Remotes: []string{w1.URL, w2.URL},
+		Cache:   c,
+	})
+	if got := coord.Workers(); got != 2 {
+		t.Fatalf("pure coordinator pool size = %d, want 2 remote slots and no local ones", got)
+	}
+
+	cold := NewClient(cts.URL)
+	coldStudies, err := cold.Submit(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(coldStudies); got != want {
+		t.Fatalf("cold fleet run diverged from direct run:\n--- direct ---\n%s--- fleet ---\n%s", want, got)
+	}
+	if l := cold.Ledger(); l.CacheMisses != points || l.CacheHits != 0 || l.Retries != 0 {
+		t.Fatalf("cold fleet ledger: want %d misses, 0 hits, 0 retries; got %+v", points, l)
+	}
+	// Every cold point must have executed on a remote peer.
+	executed := int64(0)
+	for _, m := range coord.Fleet() {
+		if m.State != "up" || m.Failures != 0 {
+			t.Fatalf("healthy fleet member reported unhealthy: %+v", m)
+		}
+		executed += m.Points
+	}
+	if executed != int64(points) {
+		t.Fatalf("remote members executed %d points, want %d", executed, points)
+	}
+
+	warm := NewClient(cts.URL)
+	warmStudies, err := warm.Submit(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(warmStudies); got != want {
+		t.Fatalf("warm fleet run diverged from direct run:\n--- direct ---\n%s--- fleet ---\n%s", want, got)
+	}
+	if l := warm.Ledger(); l.CacheHits != points || l.CacheMisses != 0 {
+		t.Fatalf("warm fleet run did not hit 100%%: %+v", l)
+	}
+}
+
+// TestE2EFleetWorkerLossMidSweep is the acceptance worker-loss scenario: a
+// coordinator drives two real workers, one of which is severed mid-point
+// partway through the sweep (its stream commits, then the connection dies
+// — exactly what a SIGKILL'd daosd looks like to the coordinator). The
+// sweep must still complete byte-identical to the direct run, report at
+// least one retried job in the fleet stats, hold the dead worker down, and
+// readmit it once it answers probes again.
+func TestE2EFleetWorkerLossMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-simulation fleet e2e; the -race -short job covers worker loss via the stub tests in fleet_test.go")
+	}
+	cfgs := quickFigureConfigs(t)
+	direct, err := (&core.Runner{}).RunAll(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(direct)
+
+	// Worker 1 sits behind a severing front: its second point request
+	// commits the stream header and then aborts the connection, and every
+	// request after that (probes included) is refused until revived.
+	w1srv := New(Config{Workers: 1})
+	defer w1srv.Close()
+	var reqs atomic.Int64
+	var dead atomic.Bool
+	w1 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if dead.Load() {
+			panic(http.ErrAbortHandler)
+		}
+		if r.URL.Path == PathSubmitPoints && reqs.Add(1) == 2 {
+			dead.Store(true)
+			w.Header().Set("Content-Type", ContentType)
+			w.WriteHeader(http.StatusOK)
+			json.NewEncoder(w).Encode(Header{Points: 1, Studies: 1})
+			w.(http.Flusher).Flush()
+			panic(http.ErrAbortHandler)
+		}
+		w1srv.ServeHTTP(w, r)
+	}))
+	defer w1.Close()
+	_, w2 := startServer(t, Config{Workers: 1})
+
+	coord, cts := startServer(t, Config{
+		Remotes:   []string{w1.URL, w2.URL},
+		ProbeBase: 5 * time.Millisecond,
+		ProbeMax:  50 * time.Millisecond,
+	})
+
+	client := NewClient(cts.URL)
+	studies, err := client.Submit(context.Background(), cfgs)
+	if err != nil {
+		t.Fatalf("sweep did not survive losing a worker mid-point: %v", err)
+	}
+	if got := render(studies); got != want {
+		t.Fatalf("fleet run with worker loss diverged from direct run:\n--- direct ---\n%s--- fleet ---\n%s", want, got)
+	}
+	if l := client.Ledger(); l.Retries < 1 {
+		t.Fatalf("fleet stats report no retried jobs after a worker died mid-sweep: %+v", l)
+	}
+	if coord.Retries() < 1 {
+		t.Fatalf("coordinator retry counter = %d, want >= 1", coord.Retries())
+	}
+	waitFor(t, "severed worker to be marked down", func() bool {
+		s := fleetMember(t, coord, w1.URL)
+		return s.State == "down" && s.Failures >= 1
+	})
+
+	// Revive the worker: probes must readmit it, and a second sweep (no
+	// coordinator cache, so every point re-dispatches) must use it again.
+	dead.Store(false)
+	waitFor(t, "revived worker to be readmitted", func() bool {
+		s := fleetMember(t, coord, w1.URL)
+		return s.State == "up" && s.Readmissions >= 1
+	})
+	before := reqs.Load()
+	if _, err := client.Submit(context.Background(), cfgs); err != nil {
+		t.Fatalf("post-readmission sweep failed: %v", err)
+	}
+	if reqs.Load() <= before {
+		t.Fatal("readmitted worker received no point jobs in the next sweep")
 	}
 }

@@ -25,13 +25,26 @@ import (
 // Submission errors (malformed body, empty batch) are plain non-200
 // responses with a text/plain diagnostic; once streaming has begun the
 // status is committed, so a truncated stream (missing Trailer) is the
-// error signal for mid-flight failure.
+// error signal for mid-flight failure. A server that is draining rejects
+// new submissions with a 503 before any stream byte is written.
+//
+// A second submission form, POST /v1/points, carries pre-decomposed
+// point jobs — explicit seeds and slot coordinates instead of configs —
+// and answers with the identical NDJSON framing. It is the
+// coordinator-to-worker leg of a daosd fleet: the coordinator decomposes
+// the client's configs once and ships each job verbatim, so the executing
+// peer cannot re-derive anything differently and byte-identity holds
+// across any fleet topology.
 const (
 	// PathSubmit accepts study batch submissions.
 	PathSubmit = "/v1/studies"
-	// PathHealth answers 200 "ok" when the server is accepting work.
+	// PathSubmitPoints accepts pre-decomposed point-job submissions (the
+	// coordinator-to-worker leg of a fleet).
+	PathSubmitPoints = "/v1/points"
+	// PathHealth answers 200 "ok" when the server is accepting work. Fleet
+	// coordinators probe it to readmit workers that were marked down.
 	PathHealth = "/v1/healthz"
-	// PathStats reports scheduler and cache counters.
+	// PathStats reports scheduler, fleet, and cache counters.
 	PathStats = "/v1/statsz"
 
 	// ContentType is the media type of the result stream.
@@ -44,6 +57,16 @@ const (
 // core.Runner.RunAll.
 type SubmitRequest struct {
 	Configs []core.Config `json:"configs"`
+}
+
+// PointsRequest is the body of a PathSubmitPoints POST: fully-specified
+// point jobs, exactly as the submitting coordinator's core.Decompose
+// produced them. The executing server runs each job as received — the
+// config inside is already defaulted and the seed already derived — so the
+// result is byte-identical to executing the job anywhere else, and the
+// job's cache key (core.PointJob.Key) is the same on every machine.
+type PointsRequest struct {
+	Jobs []core.PointJob `json:"jobs"`
 }
 
 // Header is the first stream line: the server's decomposition of the batch,
@@ -91,6 +114,11 @@ type Trailer struct {
 	CacheMisses int `json:"cache_misses"`
 	// Errors counts points that completed with a failure recorded.
 	Errors int `json:"errors"`
+	// Retries counts jobs of this batch that were re-dispatched to another
+	// worker after the one executing them failed (remote death, timeout,
+	// truncated stream). Zero on a healthy fleet and on a purely local
+	// server.
+	Retries int `json:"retries,omitempty"`
 	// ElapsedNS is the server-side wall-clock for the whole batch.
 	ElapsedNS int64 `json:"elapsed_ns"`
 }

@@ -1,0 +1,55 @@
+package studysvc
+
+import (
+	"context"
+	"fmt"
+
+	"daosim/internal/core"
+)
+
+// RemoteWorker executes point jobs on a peer daosd: RunPoint ships the job
+// — seed, slot coordinates, and defaulted config included — to the peer's
+// /v1/points endpoint over the NDJSON protocol and returns the streamed
+// result. Because the job travels verbatim (the coordinator's
+// core.Decompose output, nothing re-derived on the peer), a point executed
+// remotely is byte-identical to one executed by a LocalWorker, which is
+// what lets a coordinator mix local slots and remote peers freely.
+//
+// Any transport-level failure — connect refused, peer death mid-point, a
+// truncated result stream — comes back as the error return, the signal the
+// fleet scheduler uses to retry the job elsewhere and mark this worker
+// down. A point that ran on the peer and failed there arrives as a normal
+// Point with Err set. Probe implements the scheduler's health re-check
+// against the peer's /v1/healthz.
+//
+// Multiple pool slots may share one RemoteWorker: the underlying Client is
+// safe for concurrent use and each in-flight point is its own HTTP
+// exchange.
+type RemoteWorker struct {
+	c *Client
+}
+
+// NewRemoteWorker returns a worker executing on the peer daosd at addr
+// (host:port or an http:// URL). The underlying client carries the default
+// connect and response-header timeouts, so a hung peer surfaces as a
+// worker error instead of blocking a pool slot forever.
+func NewRemoteWorker(addr string) *RemoteWorker {
+	return &RemoteWorker{c: NewClient(addr)}
+}
+
+// Addr returns the peer's base URL.
+func (w *RemoteWorker) Addr() string { return w.c.base }
+
+// RunPoint implements Worker by submitting a single-job batch to the peer.
+func (w *RemoteWorker) RunPoint(ctx context.Context, j core.PointJob) (core.Point, error) {
+	pts, err := w.c.SubmitJobs(ctx, []core.PointJob{j})
+	if err != nil {
+		return core.Point{}, fmt.Errorf("studysvc: remote worker %s: %w", w.c.base, err)
+	}
+	return pts[0], nil
+}
+
+// Probe implements Prober against the peer's health endpoint.
+func (w *RemoteWorker) Probe(ctx context.Context) error {
+	return w.c.Health(ctx)
+}

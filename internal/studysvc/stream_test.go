@@ -47,16 +47,16 @@ type stubWorker struct {
 	delay time.Duration
 }
 
-func (w stubWorker) RunPoint(ctx context.Context, j core.PointJob) core.Point {
+func (w stubWorker) RunPoint(ctx context.Context, j core.PointJob) (core.Point, error) {
 	if w.delay > 0 {
 		select {
 		case <-time.After(w.delay):
 		case <-ctx.Done():
-			return canceledPoint(j)
+			return canceledPoint(j), nil
 		}
 	}
 	v := stubValue(j)
-	return core.Point{Nodes: j.Nodes, Ranks: j.Nodes * j.Cfg.PPN, WriteGiBs: v, ReadGiBs: 2 * v}
+	return core.Point{Nodes: j.Nodes, Ranks: j.Nodes * j.Cfg.PPN, WriteGiBs: v, ReadGiBs: 2 * v}, nil
 }
 
 // verifyStubStudies checks a reassembled batch against the stub's

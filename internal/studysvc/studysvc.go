@@ -18,14 +18,32 @@
 //
 // # Sharding and flow control
 //
-// All submissions share one job queue drained by Config.Workers pool
-// goroutines (the shard width), so concurrent clients compete fairly for
-// simulation capacity and the process never exceeds its concurrency
-// bound. Per-request result channels are buffered to the full batch size:
-// a worker can always deliver without blocking, which means one slow or
-// vanished client cannot wedge the pool. When a client disconnects
-// mid-stream its remaining queued jobs are skipped (their contexts are
-// canceled) and in-flight points finish and are discarded.
+// All submissions share one job queue drained by the pool members (the
+// shard width), so concurrent clients compete fairly for simulation
+// capacity and the process never exceeds its concurrency bound. Per-request
+// result channels are buffered to the full batch size: a worker can always
+// deliver without blocking, which means one slow or vanished client cannot
+// wedge the pool. When a client disconnects mid-stream its remaining queued
+// jobs are skipped (their contexts are canceled) and in-flight points
+// finish and are discarded.
+//
+// # The worker fleet
+//
+// A pool member is either a LocalWorker (an in-process simulation slot) or
+// a RemoteWorker (a peer daosd reached over the /v1/points leg of the
+// protocol) — Config.Remotes turns a server into a fleet coordinator.
+// Because every job carries its derived seed and defaulted config, where a
+// point executes is invisible in the results: coordinator output is
+// byte-identical to a single in-process run.
+//
+// The coordinator owns fleet robustness. A worker-level failure (peer died
+// mid-point, connection reset, truncated result stream) does not fail the
+// point: the job is re-dispatched to another member — up to
+// Config.MaxAttempts times — and the failed member is marked down and
+// re-probed against its peer's /v1/healthz with exponential backoff until
+// it answers, at which point it rejoins the pool. Per-batch retry counts
+// surface in the stream trailer; cumulative per-member state in
+// /v1/statsz.
 //
 // # Caching
 //
@@ -35,17 +53,18 @@
 // point on completion. A warm server therefore answers a repeated batch
 // entirely from cache, which the stream trailer's ledger reports as 100%
 // hits. The cache may be disk-backed and shared with in-process runs: the
-// key scheme is identical.
+// key scheme is identical — and because a fleet worker is itself a daosd,
+// each peer's own cache dedups the points it executes with the same keys.
 package studysvc
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"daosim/internal/cache"
@@ -54,41 +73,82 @@ import (
 
 // Config assembles a Server.
 type Config struct {
-	// Workers is the shard width: the number of point jobs simulated
-	// concurrently across all submissions (default runtime.GOMAXPROCS(0)).
+	// Workers is the number of local execution slots. When no Remotes and
+	// no Members are configured it defaults to runtime.GOMAXPROCS(0); on a
+	// fleet coordinator it defaults to zero (all execution remote).
 	Workers int
-	// NewWorker builds one pool slot's execution backend (default
+	// NewWorker builds one local slot's execution backend (default
 	// LocalWorker). Each of the Workers slots gets its own instance.
 	NewWorker func() Worker
+	// Remotes lists peer daosd base URLs (host:port or http:// URLs); each
+	// contributes RemoteSlots pool members executing on that peer.
+	Remotes []string
+	// RemoteSlots is the number of points kept in flight per remote peer
+	// (default 1). The peer's own -parallel pool bounds what it actually
+	// simulates concurrently.
+	RemoteSlots int
+	// Members adds explicit pool members after the local and remote ones —
+	// the seam tests and custom topologies use.
+	Members []Member
+	// MaxAttempts bounds how many workers a job is tried on before its
+	// point is failed with the last worker error (default 3).
+	MaxAttempts int
+	// ProbeBase and ProbeMax shape the down-worker re-probe backoff: the
+	// first probe waits ProbeBase, doubling per failure up to ProbeMax
+	// (defaults 100ms and 5s).
+	ProbeBase time.Duration
+	ProbeMax  time.Duration
 	// Cache, when non-nil, memoizes completed points across submissions.
 	Cache *cache.Cache
 }
 
 // task is one scheduled point job plus the submission it reports to.
 type task struct {
-	ctx context.Context
-	job core.PointJob
-	out chan<- StreamPoint // buffered to the batch size; sends never block
+	ctx      context.Context
+	job      core.PointJob
+	attempts int                // dispatches so far (0 until first failure)
+	retries  *atomic.Int64      // the submission's retry counter (trailer)
+	out      chan<- StreamPoint // buffered to the batch size; sends never block
 }
 
 // Server schedules study submissions over a bounded worker pool. It is an
 // http.Handler; create one with New and shut it down with Close.
 type Server struct {
-	cfg   Config
-	cache *cache.Cache
-	queue chan task
-	quit  chan struct{}
-	wg    sync.WaitGroup
-	mux   *http.ServeMux
+	cfg     Config
+	cache   *cache.Cache
+	members []*member
+	queue   chan task
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	mux     *http.ServeMux
+
+	draining  atomic.Bool
+	retries   atomic.Int64 // jobs re-dispatched after a worker failure
+	closeOnce sync.Once
 }
 
 // New starts a Server's worker pool and returns the ready handler.
 func New(cfg Config) *Server {
-	if cfg.Workers <= 0 {
+	if cfg.Workers < 0 {
+		cfg.Workers = 0
+	}
+	if cfg.Workers == 0 && len(cfg.Remotes) == 0 && len(cfg.Members) == 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.NewWorker == nil {
 		cfg.NewWorker = func() Worker { return &LocalWorker{} }
+	}
+	if cfg.RemoteSlots <= 0 {
+		cfg.RemoteSlots = 1
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.ProbeBase <= 0 {
+		cfg.ProbeBase = 100 * time.Millisecond
+	}
+	if cfg.ProbeMax <= 0 {
+		cfg.ProbeMax = 5 * time.Second
 	}
 	s := &Server{
 		cfg:   cfg,
@@ -97,24 +157,62 @@ func New(cfg Config) *Server {
 		quit:  make(chan struct{}),
 		mux:   http.NewServeMux(),
 	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.members = append(s.members, &member{name: fmt.Sprintf("local/%d", i), w: cfg.NewWorker()})
+	}
+	for _, addr := range cfg.Remotes {
+		// One RemoteWorker (one transport) per peer, shared by its slots:
+		// each in-flight point is an independent HTTP exchange.
+		rw := NewRemoteWorker(addr)
+		for k := 0; k < cfg.RemoteSlots; k++ {
+			name := rw.Addr()
+			if cfg.RemoteSlots > 1 {
+				name = fmt.Sprintf("%s#%d", rw.Addr(), k)
+			}
+			s.members = append(s.members, &member{name: name, w: rw})
+		}
+	}
+	for _, m := range cfg.Members {
+		s.members = append(s.members, &member{name: m.Name, w: m.Worker})
+	}
 	s.mux.HandleFunc("POST "+PathSubmit, s.handleSubmit)
+	s.mux.HandleFunc("POST "+PathSubmitPoints, s.handleSubmitPoints)
 	s.mux.HandleFunc("GET "+PathHealth, s.handleHealth)
 	s.mux.HandleFunc("GET "+PathStats, s.handleStats)
-	for i := 0; i < cfg.Workers; i++ {
+	for _, m := range s.members {
 		s.wg.Add(1)
-		go s.worker(cfg.NewWorker())
+		go s.memberLoop(m)
 	}
 	return s
 }
 
-// Workers returns the pool width.
-func (s *Server) Workers() int { return s.cfg.Workers }
+// Workers returns the pool width: the total number of execution slots,
+// local and remote.
+func (s *Server) Workers() int { return len(s.members) }
+
+// Fleet snapshots every pool member's state and counters.
+func (s *Server) Fleet() []MemberStatus {
+	out := make([]MemberStatus, len(s.members))
+	for i, m := range s.members {
+		out[i] = m.status()
+	}
+	return out
+}
+
+// Retries returns the cumulative number of jobs re-dispatched after a
+// worker failure.
+func (s *Server) Retries() int64 { return s.retries.Load() }
 
 // Close stops the worker pool and waits for in-flight points to finish.
-// In-progress submissions observe the shutdown and end their streams early
-// (truncated, i.e. without a trailer).
+// New submissions arriving once a Close has begun are rejected with a 503
+// ("server draining"); submissions already streaming observe the shutdown
+// and end their streams early (truncated, i.e. without a trailer — the
+// client-visible signal for mid-flight loss). Close is idempotent.
 func (s *Server) Close() {
-	close(s.quit)
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.quit)
+	})
 	s.wg.Wait()
 }
 
@@ -123,37 +221,76 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// worker drains the shared queue until shutdown, then releases its
-// backend's per-slot state (a LocalWorker's kernel arena, a remote
-// worker's connection) if the backend is closable.
-func (s *Server) worker(backend Worker) {
+// memberLoop drains the shared queue on behalf of one pool member until
+// shutdown, then releases the member's per-slot state (a LocalWorker's
+// kernel arena, a remote worker's connections). A worker-level failure
+// sends the job back for retry elsewhere and holds this member out of the
+// pool until probeUntilUp readmits it.
+func (s *Server) memberLoop(m *member) {
 	defer s.wg.Done()
-	defer func() {
-		if c, ok := backend.(io.Closer); ok {
-			c.Close()
-		}
-	}()
+	defer m.close()
 	for {
 		select {
 		case <-s.quit:
 			return
 		case t := <-s.queue:
-			t.out <- s.runTask(backend, t)
+			if t.ctx.Err() != nil {
+				t.out <- toWire(t.job, canceledPoint(t.job), false)
+				continue
+			}
+			pt, err := m.w.RunPoint(t.ctx, t.job)
+			if err == nil {
+				m.points.Add(1)
+				if s.cache != nil && pt.Err == "" {
+					s.cache.Put(t.job.Key(), pt.CacheEntry())
+				}
+				t.out <- toWire(t.job, pt, false)
+				continue
+			}
+			if t.ctx.Err() != nil {
+				// The submission vanished while the point was in flight; a
+				// remote's transport error is then the cancellation echoed
+				// back, not evidence the worker is broken.
+				t.out <- toWire(t.job, canceledPoint(t.job), false)
+				continue
+			}
+			m.failures.Add(1)
+			s.retry(t, m.name, err)
+			if !s.probeUntilUp(m) {
+				return
+			}
 		}
 	}
 }
 
-// runTask executes one queued job (skipping abandoned submissions) and
-// stores successful results in the cache.
-func (s *Server) runTask(backend Worker, t task) StreamPoint {
-	if t.ctx.Err() != nil {
-		return toWire(t.job, canceledPoint(t.job), false)
+// retry hands a worker-failed job back to the pool — or fails its point
+// when the job has exhausted its attempts. The requeue runs on its own
+// goroutine because the calling member is headed for its probe loop and
+// must not block waiting for a free slot.
+func (s *Server) retry(t task, worker string, cause error) {
+	t.attempts++
+	if t.attempts >= s.cfg.MaxAttempts {
+		pt := canceledPoint(t.job)
+		pt.Err = fmt.Sprintf("studysvc: point abandoned after %d attempts; last worker %s: %v",
+			t.attempts, worker, cause)
+		t.out <- toWire(t.job, pt, false)
+		return
 	}
-	pt := backend.RunPoint(t.ctx, t.job)
-	if s.cache != nil && pt.Err == "" {
-		s.cache.Put(t.job.Key(), pt.CacheEntry())
+	s.retries.Add(1)
+	if t.retries != nil {
+		t.retries.Add(1)
 	}
-	return toWire(t.job, pt, false)
+	go func() {
+		select {
+		case s.queue <- t:
+		case <-t.ctx.Done():
+			t.out <- toWire(t.job, canceledPoint(t.job), false)
+		case <-s.quit:
+			pt := canceledPoint(t.job)
+			pt.Err = "studysvc: server draining; retried point abandoned"
+			t.out <- toWire(t.job, pt, false)
+		}
+	}()
 }
 
 // handleSubmit decomposes a batch, schedules its points, and streams results
@@ -172,7 +309,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// variants) streams normally — header then trailer — matching
 	// core.Runner.RunAll, which returns such studies with empty series.
 	_, jobs := core.Decompose(req.Configs)
+	s.stream(w, r, jobs, len(req.Configs))
+}
 
+// handleSubmitPoints schedules pre-decomposed jobs — the coordinator-to-
+// worker leg — through the identical queue, cache, and stream machinery.
+func (s *Server) handleSubmitPoints(w http.ResponseWriter, r *http.Request) {
+	var req PointsRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("studysvc: bad points body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		http.Error(w, "studysvc: empty job batch", http.StatusBadRequest)
+		return
+	}
+	studies := make(map[int]bool)
+	for _, j := range req.Jobs {
+		studies[j.Study] = true
+	}
+	s.stream(w, r, req.Jobs, len(studies))
+}
+
+// stream is the scheduling core shared by both submission forms: it commits
+// the response, enqueues every job (serving cache hits inline), and relays
+// results to the client as they land, closing with the batch trailer.
+func (s *Server) stream(w http.ResponseWriter, r *http.Request, jobs []core.PointJob, studies int) {
+	if s.draining.Load() {
+		// Losing the race against Close must be loud: a 503 before any
+		// stream byte, never a silently dropped batch.
+		http.Error(w, "studysvc: server draining", http.StatusServiceUnavailable)
+		return
+	}
 	ctx := r.Context()
 	start := time.Now()
 	w.Header().Set("Content-Type", ContentType)
@@ -184,7 +352,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-	if err := enc.Encode(Header{Points: len(jobs), Studies: len(req.Configs)}); err != nil {
+	if err := enc.Encode(Header{Points: len(jobs), Studies: studies}); err != nil {
 		return
 	}
 	flush()
@@ -193,6 +361,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// the cache-lookup goroutine below can always deliver without blocking,
 	// even after this handler has given up on the client.
 	results := make(chan StreamPoint, len(jobs))
+	var retried atomic.Int64
 	go func() {
 		for _, j := range jobs {
 			if s.cache != nil {
@@ -202,7 +371,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 			select {
-			case s.queue <- task{ctx: ctx, job: j, out: results}:
+			case s.queue <- task{ctx: ctx, job: j, retries: &retried, out: results}:
 			case <-ctx.Done():
 				return
 			case <-s.quit:
@@ -236,6 +405,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	t.Done = true
 	t.Points = len(jobs)
+	t.Retries = int(retried.Load())
 	t.ElapsedNS = int64(time.Since(start))
 	if err := enc.Encode(t); err != nil {
 		return
@@ -245,19 +415,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // handleHealth implements PathHealth.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "studysvc: server draining", http.StatusServiceUnavailable)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
 
-// statsReply is the PathStats body.
-type statsReply struct {
-	Workers int          `json:"workers"`
-	Cache   *cache.Stats `json:"cache,omitempty"`
+// ServerStats is the PathStats body: pool width, cumulative fleet retry
+// count, per-member fleet state, and cache counters.
+type ServerStats struct {
+	Workers int            `json:"workers"`
+	Retries int64          `json:"retries"`
+	Fleet   []MemberStatus `json:"fleet,omitempty"`
+	Cache   *cache.Stats   `json:"cache,omitempty"`
 }
 
 // handleStats implements PathStats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	reply := statsReply{Workers: s.cfg.Workers}
+	reply := ServerStats{Workers: s.Workers(), Retries: s.Retries(), Fleet: s.Fleet()}
 	if s.cache != nil {
 		st := s.cache.Stats()
 		reply.Cache = &st
