@@ -19,6 +19,7 @@
 //	figures                 # both figures, full node sweep, claim checks
 //	figures -quick          # reduced sweep (CI-sized)
 //	figures -fig 1          # only Figure 1
+//	figures -fig fault      # the fault-injection grid (kill/rebuild/restart)
 //	figures -parallel 4     # at most 4 concurrent sweep points
 //	figures -ablations      # also run A1..A4
 //	figures -csv out.csv    # dump the raw series
@@ -41,7 +42,7 @@ import (
 func main() {
 	var (
 		quick     = flag.Bool("quick", false, "reduced node sweep")
-		fig       = flag.Int("fig", 0, "run only this figure (1 or 2); 0 = both")
+		fig       = flag.String("fig", "0", "run only this figure (1, 2, or fault); 0 = both paper figures")
 		ablations = flag.Bool("ablations", false, "also run ablation experiments A1..A4")
 		csvPath   = flag.String("csv", "", "write raw series CSV to this file")
 		parallel  = flag.Int("parallel", 0, "max concurrent sweep points (0 = all cores, 1 = sequential)")

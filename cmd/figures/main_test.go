@@ -17,21 +17,36 @@ var update = flag.Bool("update", false, "rewrite the golden CSV fixtures")
 // deliberate physics change must regenerate the fixtures with -update (and
 // bump sim.KernelVersion to invalidate caches).
 func TestQuickCSVGolden(t *testing.T) {
+	study := func(run func(bench.Options) (*core.Study, error)) func(bench.Options) (string, error) {
+		return func(o bench.Options) (string, error) {
+			st, err := run(o)
+			if err != nil {
+				return "", err
+			}
+			return st.CSV(), nil
+		}
+	}
 	cases := []struct {
 		name string
 		file string
-		run  func(bench.Options) (*core.Study, error)
+		run  func(bench.Options) (string, error)
 	}{
-		{"figure1", "figure1_quick.csv", bench.Figure1},
-		{"figure2", "figure2_quick.csv", bench.Figure2},
+		{"figure1", "figure1_quick.csv", study(bench.Figure1)},
+		{"figure2", "figure2_quick.csv", study(bench.Figure2)},
+		{"fault", "fault_quick.csv", func(o bench.Options) (string, error) {
+			fss, err := bench.FaultGrid(o)
+			if err != nil {
+				return "", err
+			}
+			return bench.FaultCSV(fss), nil
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			st, err := tc.run(bench.At(bench.Quick))
+			got, err := tc.run(bench.At(bench.Quick))
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := st.CSV()
 			path := filepath.Join("testdata", tc.file)
 			if *update {
 				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {

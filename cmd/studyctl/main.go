@@ -80,7 +80,7 @@ func runSubmit(args []string, out io.Writer) error {
 	var (
 		server   = fs.String("server", "", "daosd address (host:port or http:// URL)")
 		quick    = fs.Bool("quick", false, "reduced node sweep")
-		fig      = fs.Int("fig", 0, "run only this figure (1 or 2); 0 = both")
+		fig      = fs.String("fig", "0", "run only this figure (1, 2, or fault); 0 = both paper figures")
 		csvPath  = fs.String("csv", "", "write raw series CSV to this file")
 		progress = fs.Bool("progress", false, "print each point as it streams back")
 	)

@@ -102,12 +102,13 @@ func Figure2(o Options) (*core.Study, error) {
 	})
 }
 
-// RunFigures runs the paper's figure studies (fig = 1, 2, or 0 for both)
-// on the Options runner, writing the rendered tables, sweep wall-clock,
-// and machine-checked claims to out. It is the one figure driver shared by
-// cmd/figures and cmd/studyctl, so the two binaries cannot drift apart in
-// what they print. The returned string is the accumulated raw-series CSV
-// of every figure that ran.
+// RunFigures runs the paper's figure studies (fig = "1", "2", "0" for
+// both, or "fault" for the fault-injection grid) on the Options runner,
+// writing the rendered tables, sweep wall-clock, and machine-checked
+// claims to out. It is the one figure driver shared by cmd/figures and
+// cmd/studyctl, so the two binaries cannot drift apart in what they print.
+// The returned string is the accumulated raw-series CSV of every figure
+// that ran.
 //
 // A sweep that completed with failed points (the error is a
 // *core.PointErrors) still renders — the grid is populated, failed cells
@@ -115,9 +116,9 @@ func Figure2(o Options) (*core.Study, error) {
 // failures come back joined, typed so callers can exit distinctly. Any
 // other error (transport failure, truncated server stream) aborts
 // immediately: there is nothing trustworthy to render.
-func RunFigures(o Options, fig int, out io.Writer) (string, error) {
-	if fig < 0 || fig > 2 {
-		return "", fmt.Errorf("bench: no figure %d (want 1, 2, or 0 for both)", fig)
+func RunFigures(o Options, fig string, out io.Writer) (string, error) {
+	if fig != "0" && fig != "1" && fig != "2" && fig != "fault" {
+		return "", fmt.Errorf("bench: no figure %q (want 1, 2, fault, or 0 for both paper figures)", fig)
 	}
 	var csv string
 	var easy, hard *core.Study
@@ -136,7 +137,25 @@ func RunFigures(o Options, fig int, out io.Writer) (string, error) {
 		return st, nil
 	}
 	var err error
-	if fig == 0 || fig == 1 {
+	if fig == "fault" {
+		fss, ferr := FaultGrid(o)
+		if ferr != nil {
+			var pe *core.PointErrors
+			if !errors.As(ferr, &pe) {
+				return csv, ferr
+			}
+			pointErrs = append(pointErrs, pe.Err)
+			failed += pe.Count
+		}
+		fmt.Fprintln(out, "=== Fault grid: engine kill, rebuild, restart ===")
+		fmt.Fprintln(out, RenderFaultGrid(fss))
+		csv += FaultCSV(fss)
+		if len(pointErrs) > 0 {
+			return csv, &core.PointErrors{Count: failed, Err: errors.Join(pointErrs...)}
+		}
+		return csv, nil
+	}
+	if fig == "0" || fig == "1" {
 		if easy, err = sweep(Figure1(o)); err != nil {
 			return csv, err
 		}
@@ -146,7 +165,7 @@ func RunFigures(o Options, fig int, out io.Writer) (string, error) {
 		fmt.Fprintln(out, RenderClaims(easy.CheckEasyClaims()))
 		csv += easy.CSV()
 	}
-	if fig == 0 || fig == 2 {
+	if fig == "0" || fig == "2" {
 		if hard, err = sweep(Figure2(o)); err != nil {
 			return csv, err
 		}

@@ -51,6 +51,55 @@ func TestFigure2Quick(t *testing.T) {
 	}
 }
 
+// TestFaultGridQuick runs the fault experiment end to end and checks the
+// degraded-mode outputs are real: every point saw its pool map transition
+// (the plan always fires inside the measured window), at least one point
+// measured nonzero degraded bandwidth, and every point has a positive
+// recovery time.
+func TestFaultGridQuick(t *testing.T) {
+	skipGridInShort(t)
+	fss, err := FaultGrid(At(Quick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fss) != len(FaultCases()) {
+		t.Fatalf("cases = %d, want %d", len(fss), len(FaultCases()))
+	}
+	sawDegraded := false
+	for _, fs := range fss {
+		if fs.Study == nil {
+			t.Fatalf("case %s: no study", fs.Case.Label)
+		}
+		for _, s := range fs.Study.Series {
+			for _, pt := range s.Points {
+				if pt.MapTransitions == 0 {
+					t.Errorf("case %s %s nodes=%d: fault never fired in the window", fs.Case.Label, s.Variant.Label, pt.Nodes)
+				}
+				if pt.RecoverySec <= 0 {
+					t.Errorf("case %s %s nodes=%d: recovery = %v", fs.Case.Label, s.Variant.Label, pt.Nodes, pt.RecoverySec)
+				}
+				if pt.DegradedGiBs > 0 {
+					sawDegraded = true
+				}
+				if pt.WriteGiBs <= 0 || pt.ReadGiBs <= 0 {
+					t.Errorf("case %s %s nodes=%d: workload did not survive: %+v", fs.Case.Label, s.Variant.Label, pt.Nodes, pt)
+				}
+			}
+		}
+	}
+	if !sawDegraded {
+		t.Error("no point measured nonzero degraded bandwidth")
+	}
+	csv := FaultCSV(fss)
+	if !strings.HasPrefix(csv, "workload,series,case,kill_at_ms,") {
+		t.Fatalf("fault CSV header:\n%s", csv)
+	}
+	out := RenderFaultGrid(fss)
+	if !strings.Contains(out, "kill engine 3") {
+		t.Fatalf("fault render:\n%s", out)
+	}
+}
+
 func TestAblationObjectClassQuick(t *testing.T) {
 	skipGridInShort(t)
 	st, err := AblationObjectClass(At(Quick))

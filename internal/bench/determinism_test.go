@@ -70,6 +70,13 @@ var experiments = []struct {
 		}
 		return fmt.Sprintf("%+v", pts), nil
 	}},
+	{"FaultGrid", func(o Options) (string, error) {
+		fss, err := FaultGrid(o)
+		if err != nil {
+			return "", err
+		}
+		return RenderFaultGrid(fss) + FaultCSV(fss), nil
+	}},
 }
 
 // TestWarmCacheDeterminism runs every experiment cold, then three more
@@ -170,6 +177,45 @@ func TestWarmCacheFigure1AllHits(t *testing.T) {
 	warmOnly := cache.Stats{Hits: after.Hits - before.Hits, MemHits: after.MemHits - before.MemHits}
 	if !strings.Contains(warmOnly.String(), "100.0% hits") {
 		t.Fatalf("warm pass not reported as 100%% hits: %s", warmOnly)
+	}
+}
+
+// TestFaultGridDiskTierWarmStart proves the degraded-mode outputs survive
+// the disk tier: a fresh Cache over the same directory replays the fault
+// grid — including DegradedGiBs, RecoverySec, and MapTransitions, which
+// only exist in the v2 disk record — byte-identically from disk alone.
+func TestFaultGridDiskTierWarmStart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-grid-sized determinism re-run; covered at full scale by the plain test job")
+	}
+	dir := t.TempDir()
+	c1, err := cache.New(cache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fss, err := FaultGrid(Options{Scale: Quick, Cache: c1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := FaultCSV(fss)
+	if !strings.Contains(cold, ",8\n") && !strings.Contains(cold, ",16\n") {
+		t.Fatalf("cold fault grid shows no map transitions:\n%s", cold)
+	}
+
+	c2, err := cache.New(cache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fss2, err := FaultGrid(Options{Scale: Quick, Cache: c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm := FaultCSV(fss2); warm != cold {
+		t.Fatalf("disk-tier warm start diverged:\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
+	}
+	st := c2.Stats()
+	if st.Misses != 0 || st.DiskHits != st.Hits || st.Hits == 0 {
+		t.Fatalf("warm start did not come from disk: %+v", st)
 	}
 }
 

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"daosim/internal/cluster"
+	"daosim/internal/core"
+	"daosim/internal/ior"
+	"daosim/internal/placement"
+)
+
+// faultEngine is the engine every canned fault case kills. The bench
+// experiments run on the default NEXTGenIO testbed (16 engines), so engine
+// 3 — mid-pack on server node 1 — is always in range.
+const faultEngine = 3
+
+// FaultCase is one cell of the fault grid's fault axis: when the engine
+// dies, whether and when it comes back, and how hard the survivors rebuild.
+// The times are virtual instants relative to the workload start; the bench
+// workload body spends ~25ms creating the pool and namespace and then
+// sustains I/O from there to 250ms (1 node) or well past it (more nodes),
+// so every canned case lands inside the measured window at every node
+// count.
+type FaultCase struct {
+	// Label names the case in tables and CSV.
+	Label string
+	// KillAt is when faultEngine dies.
+	KillAt time.Duration
+	// RestartAt, when nonzero, is when faultEngine comes back.
+	RestartAt time.Duration
+	// RateGiBs is the per-survivor rebuild pacing (0 = no rebuild traffic).
+	RateGiBs float64
+}
+
+// FaultCases returns the canned fault grid: the kill-at axis crossed with
+// the restart and rebuild-rate axes, kept small enough that the grid times
+// a CI run but wide enough that every mechanism (open window, rebuild
+// contention, restart re-integration) appears. Kill times sit early in the
+// body because the workload's span is placement-dependent: a skewed seed
+// can finish a small grid point within ~40ms, so only early kills land
+// inside the measured window at every (variant, nodes, seed) cell.
+func FaultCases() []FaultCase {
+	return []FaultCase{
+		{Label: "kill10", KillAt: 10 * time.Millisecond},
+		{Label: "kill10-rebuild4", KillAt: 10 * time.Millisecond, RateGiBs: 4},
+		{Label: "kill10-restart30", KillAt: 10 * time.Millisecond, RestartAt: 30 * time.Millisecond},
+		{Label: "kill20-restart35-rebuild4", KillAt: 20 * time.Millisecond, RestartAt: 35 * time.Millisecond, RateGiBs: 4},
+	}
+}
+
+// plan expands the case into the core.Config fault fields.
+func (fc FaultCase) plan() ([]cluster.FaultEvent, cluster.RebuildConfig) {
+	events := []cluster.FaultEvent{
+		{At: fc.KillAt, Kind: cluster.KillEngine, Engine: faultEngine},
+	}
+	if fc.RestartAt > 0 {
+		events = append(events, cluster.FaultEvent{At: fc.RestartAt, Kind: cluster.RestartEngine, Engine: faultEngine})
+	}
+	return events, cluster.RebuildConfig{RateGiBs: fc.RateGiBs}
+}
+
+// FaultStudy pairs a fault case with its executed study grid.
+type FaultStudy struct {
+	Case  FaultCase
+	Study *core.Study
+}
+
+// FaultGrid runs the fault experiment: every canned FaultCase as its own
+// study over the variant (S2, SX) and node axes, all through the Options
+// runner as one batch, so points fan out together and memoize individually
+// (fault-plan points key into their own cache address space — see
+// internal/core's key builder).
+func FaultGrid(o Options) ([]FaultStudy, error) {
+	cases := FaultCases()
+	cfgs := make([]core.Config, len(cases))
+	for i, fc := range cases {
+		plan, rb := fc.plan()
+		cfgs[i] = core.Config{
+			Workload: "easy",
+			Nodes:    nodesFor(o.Scale),
+			Variants: []core.Variant{
+				{Label: "daos S2", API: ior.APIDFS, Class: placement.S2},
+				{Label: "daos SX", API: ior.APIDFS, Class: placement.SX},
+			},
+			Seed:      o.Seed,
+			FaultPlan: plan,
+			Rebuild:   rb,
+		}
+	}
+	studies, err := o.runner().RunAll(cfgs)
+	out := make([]FaultStudy, len(cases))
+	for i := range cases {
+		var st *core.Study
+		if i < len(studies) {
+			st = studies[i]
+		}
+		out[i] = FaultStudy{Case: cases[i], Study: st}
+	}
+	return out, err
+}
+
+// RenderFaultGrid formats the fault grid: one block per case with the
+// degraded-window bandwidth, recovery time, and pool-map transition count
+// per variant and node count, alongside the headline bandwidths.
+func RenderFaultGrid(fss []FaultStudy) string {
+	var b strings.Builder
+	for _, fs := range fss {
+		fc := fs.Case
+		fmt.Fprintf(&b, "--- fault %s: kill engine %d @%v", fc.Label, faultEngine, fc.KillAt)
+		if fc.RestartAt > 0 {
+			fmt.Fprintf(&b, ", restart @%v", fc.RestartAt)
+		}
+		if fc.RateGiBs > 0 {
+			fmt.Fprintf(&b, ", rebuild %.0f GiB/s/survivor", fc.RateGiBs)
+		}
+		b.WriteString(" ---\n")
+		if fs.Study == nil {
+			b.WriteString("  (no results)\n")
+			continue
+		}
+		for _, s := range fs.Study.Series {
+			for _, pt := range s.Points {
+				fmt.Fprintf(&b, "  %-8s nodes=%2d  write %6.2f  read %6.2f  degraded %6.2f GiB/s  recovery %7.1f ms  map +%d\n",
+					s.Variant.Label, pt.Nodes, pt.WriteGiBs, pt.ReadGiBs, pt.DegradedGiBs, pt.RecoverySec*1e3, pt.MapTransitions)
+			}
+		}
+	}
+	return b.String()
+}
+
+// FaultCSV renders the grid as CSV, one row per point, with the fault axes
+// as leading columns so the file is self-describing.
+func FaultCSV(fss []FaultStudy) string {
+	var b strings.Builder
+	b.WriteString("workload,series,case,kill_at_ms,restart_at_ms,rebuild_gibs,nodes,ranks,write_gibs,read_gibs,degraded_gibs,recovery_s,map_transitions\n")
+	for _, fs := range fss {
+		if fs.Study == nil {
+			continue
+		}
+		fc := fs.Case
+		for _, s := range fs.Study.Series {
+			for _, pt := range s.Points {
+				fmt.Fprintf(&b, "%s,%s,%s,%g,%g,%g,%d,%d,%.6f,%.6f,%.6f,%.6f,%d\n",
+					fs.Study.Config.Workload, s.Variant.Label, fc.Label,
+					float64(fc.KillAt)/float64(time.Millisecond),
+					float64(fc.RestartAt)/float64(time.Millisecond),
+					fc.RateGiBs,
+					pt.Nodes, pt.Ranks,
+					pt.WriteGiBs, pt.ReadGiBs,
+					pt.DegradedGiBs, pt.RecoverySec, pt.MapTransitions)
+			}
+		}
+	}
+	return b.String()
+}

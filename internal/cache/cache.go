@@ -42,12 +42,19 @@ import (
 	"sync"
 )
 
-// Entry is one memoized study point: the measured bandwidth pair. Grid
-// coordinates (nodes, ranks) are not stored — they are part of the key and
-// re-derived by the caller.
+// Entry is one memoized study point: the measured bandwidth pair plus the
+// degraded-mode outputs of fault-injected points. Grid coordinates (nodes,
+// ranks) are not stored — they are part of the key and re-derived by the
+// caller.
 type Entry struct {
 	WriteGiBs float64
 	ReadGiBs  float64
+	// DegradedGiBs, RecoverySec, and MapTransitions memoize the
+	// degraded-window outputs of a fault-injected point; all zero for
+	// points without a fault plan.
+	DegradedGiBs   float64
+	RecoverySec    float64
+	MapTransitions int64
 }
 
 // Options configures a Cache.
@@ -223,12 +230,23 @@ func (c *Cache) insert(k Key, e Entry) {
 	}
 }
 
-// Disk-tier entry layout: an 8-byte magic, the two bandwidth float64s in
-// little-endian IEEE bits, and a CRC-32 of the payload. Anything that does
-// not parse exactly is treated as absent.
+// Disk-tier entry layout: an 8-byte magic, the payload fields in
+// little-endian bits, and a CRC-32 of the payload. Anything that does not
+// parse exactly is treated as absent.
+//
+// The current format ("daoscch2") stores five payload fields: the two
+// bandwidths, the two degraded-window float64s, and the map-transition
+// count. Records written by the previous format ("daoscch1", bandwidths
+// only) still load, with zero degraded fields — which is exact, because
+// every point cached under that format necessarily ran without a fault
+// plan (fault-plan points key into a different address space entirely).
 const (
-	diskMagic = "daoscch1"
-	diskSize  = len(diskMagic) + 16 + 4
+	diskMagic     = "daoscch2"
+	diskPayload   = 5 * 8
+	diskSize      = len(diskMagic) + diskPayload + 4
+	diskMagicV1   = "daoscch1"
+	diskPayloadV1 = 2 * 8
+	diskSizeV1    = len(diskMagicV1) + diskPayloadV1 + 4
 )
 
 // path returns the disk file for k.
@@ -245,17 +263,32 @@ func (c *Cache) load(k Key) (e Entry, ok, corrupt bool) {
 		// equally just a miss (corruption-tolerance is the contract).
 		return Entry{}, false, !os.IsNotExist(err)
 	}
-	if len(buf) != diskSize || string(buf[:len(diskMagic)]) != diskMagic {
+	switch {
+	case len(buf) == diskSize && string(buf[:len(diskMagic)]) == diskMagic:
+		payload := buf[len(diskMagic) : len(diskMagic)+diskPayload]
+		sum := binary.LittleEndian.Uint32(buf[len(diskMagic)+diskPayload:])
+		if crc32.ChecksumIEEE(payload) != sum {
+			return Entry{}, false, true
+		}
+		e.WriteGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[0:]))
+		e.ReadGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[8:]))
+		e.DegradedGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[16:]))
+		e.RecoverySec = math.Float64frombits(binary.LittleEndian.Uint64(payload[24:]))
+		e.MapTransitions = int64(binary.LittleEndian.Uint64(payload[32:]))
+		return e, true, false
+	case len(buf) == diskSizeV1 && string(buf[:len(diskMagicV1)]) == diskMagicV1:
+		// Legacy record: bandwidths only, degraded fields implicitly zero.
+		payload := buf[len(diskMagicV1) : len(diskMagicV1)+diskPayloadV1]
+		sum := binary.LittleEndian.Uint32(buf[len(diskMagicV1)+diskPayloadV1:])
+		if crc32.ChecksumIEEE(payload) != sum {
+			return Entry{}, false, true
+		}
+		e.WriteGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[0:]))
+		e.ReadGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[8:]))
+		return e, true, false
+	default:
 		return Entry{}, false, true
 	}
-	payload := buf[len(diskMagic) : len(diskMagic)+16]
-	sum := binary.LittleEndian.Uint32(buf[len(diskMagic)+16:])
-	if crc32.ChecksumIEEE(payload) != sum {
-		return Entry{}, false, true
-	}
-	e.WriteGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[:8]))
-	e.ReadGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[8:]))
-	return e, true, false
 }
 
 // store writes k to the disk tier atomically (temp file + rename), so a
@@ -266,7 +299,10 @@ func (c *Cache) store(k Key, e Entry) error {
 	copy(buf, diskMagic)
 	binary.LittleEndian.PutUint64(buf[len(diskMagic):], math.Float64bits(e.WriteGiBs))
 	binary.LittleEndian.PutUint64(buf[len(diskMagic)+8:], math.Float64bits(e.ReadGiBs))
-	binary.LittleEndian.PutUint32(buf[len(diskMagic)+16:], crc32.ChecksumIEEE(buf[len(diskMagic):len(diskMagic)+16]))
+	binary.LittleEndian.PutUint64(buf[len(diskMagic)+16:], math.Float64bits(e.DegradedGiBs))
+	binary.LittleEndian.PutUint64(buf[len(diskMagic)+24:], math.Float64bits(e.RecoverySec))
+	binary.LittleEndian.PutUint64(buf[len(diskMagic)+32:], uint64(e.MapTransitions))
+	binary.LittleEndian.PutUint32(buf[len(diskMagic)+diskPayload:], crc32.ChecksumIEEE(buf[len(diskMagic):len(diskMagic)+diskPayload]))
 
 	tmp, err := os.CreateTemp(c.dir, "tmp-*")
 	if err != nil {

@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"daosim/internal/engine"
+	"daosim/internal/sim"
+)
+
+// FaultKind enumerates the scheduled fault actions a FaultEvent can take.
+type FaultKind int
+
+const (
+	// KillEngine fails an engine at the scheduled instant: its RPCs return
+	// engine.ErrEngineDown, the pool map excludes its targets (one version
+	// bump per target, so clients recompute layouts), and — with a rebuild
+	// rate configured — the surviving engines start reconstructing the lost
+	// capacity, charging their devices and fabric links while the workload
+	// is still running.
+	KillEngine FaultKind = iota + 1
+	// RestartEngine re-admits a previously killed engine: RPCs succeed
+	// again and its targets re-enter the pool map (one version bump per
+	// target), so layouts recompute back to their original homes.
+	RestartEngine
+)
+
+// String names the kind for tables and CSV.
+func (k FaultKind) String() string {
+	switch k {
+	case KillEngine:
+		return "kill"
+	case RestartEngine:
+		return "restart"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultEvent is one scheduled fault. At is a virtual instant relative to
+// the workload start (the moment the testbed's main process begins), so a
+// plan is a pure function of the configuration — faults fire at the same
+// virtual time on every host, which is what keeps fault sweeps
+// deterministic (parallel==sequential, warm==cold).
+type FaultEvent struct {
+	At     time.Duration
+	Kind   FaultKind
+	Engine int
+}
+
+// RebuildConfig models the rebuild traffic a kill triggers. It is a
+// traffic model, not data reconstruction: each surviving engine streams its
+// share of the lost bytes (local media read → fabric transfer to a peer →
+// peer media write) paced at RateGiBs, contending with client I/O for the
+// same devices and links. Object data lost with the killed engine stays
+// lost until the engine restarts (reads of lost shards return holes).
+type RebuildConfig struct {
+	// RateGiBs paces each surviving engine's rebuild stream in GiB/s.
+	// Zero disables rebuild traffic entirely (the kill still happens).
+	RateGiBs float64
+	// ChunkSize is the per-transfer granularity in bytes (default 4 MiB).
+	ChunkSize int64
+}
+
+// FaultReport is the degraded-mode measurement of one fault run.
+type FaultReport struct {
+	// DegradedGiBs is the client bandwidth (payload bytes served by engine
+	// RPC handlers, read + write) during the degraded window: from the
+	// first kill until the cluster restored (every planned event fired,
+	// all rebuild streams drained, every engine back up), clamped to the
+	// end of the workload.
+	DegradedGiBs float64
+	// RecoverySec is the degraded window's length in virtual seconds.
+	RecoverySec float64
+	// MapTransitions is the number of pool-map version steps the plan
+	// caused (each excluded or restored target bumps the version once).
+	MapTransitions int
+	// RebuildGiB is the total rebuild traffic moved, in GiB.
+	RebuildGiB float64
+}
+
+// FaultRun is one scheduled fault plan in flight on a testbed. Create it
+// with Testbed.InjectFaults inside the Run body; call Finish when the
+// workload body completes so open windows clamp at the measured end.
+type FaultRun struct {
+	tb   *Testbed
+	rb   RebuildConfig
+	plan []FaultEvent
+
+	startVersion int
+
+	killed      bool
+	killAt      time.Duration // absolute virtual instant of the first kill
+	bytesAtKill int64         // client payload bytes when the window opened
+
+	pendingEvents   int // planned events that have not fired yet
+	pendingRebuilds int // rebuild streams still moving bytes
+	rebuildBytes    int64
+
+	restored       bool
+	restoredAt     time.Duration
+	bytesAtRestore int64 // client payload bytes when the window closed
+
+	finished bool
+	report   FaultReport
+}
+
+// InjectFaults schedules plan on the testbed's simulator, each event at
+// p.Now()+ev.At, and returns the run handle measuring the degraded window.
+// A nil or empty plan returns (nil, nil) and touches nothing — a zero-value
+// plan simulates byte-identically to no fault support at all.
+func (tb *Testbed) InjectFaults(p *sim.Proc, plan []FaultEvent, rb RebuildConfig) (*FaultRun, error) {
+	if len(plan) == 0 {
+		return nil, nil
+	}
+	for i, ev := range plan {
+		if ev.At < 0 {
+			return nil, fmt.Errorf("cluster: fault %d: negative At %v", i, ev.At)
+		}
+		if ev.Kind != KillEngine && ev.Kind != RestartEngine {
+			return nil, fmt.Errorf("cluster: fault %d: unknown kind %d", i, int(ev.Kind))
+		}
+		if ev.Engine < 0 || ev.Engine >= len(tb.Engines) {
+			return nil, fmt.Errorf("cluster: fault %d: engine %d out of range [0,%d)", i, ev.Engine, len(tb.Engines))
+		}
+	}
+	fr := &FaultRun{
+		tb:            tb,
+		rb:            rb,
+		plan:          plan,
+		startVersion:  tb.pmap.Version,
+		pendingEvents: len(plan),
+	}
+	start := p.Now()
+	for _, ev := range plan {
+		ev := ev
+		tb.Sim.At(start+ev.At, func() { fr.fire(ev) })
+	}
+	return fr, nil
+}
+
+// fire applies one scheduled event at its virtual instant.
+func (fr *FaultRun) fire(ev FaultEvent) {
+	now := fr.tb.Sim.Now()
+	switch ev.Kind {
+	case KillEngine:
+		if !fr.killed {
+			fr.killed = true
+			fr.killAt = now
+			fr.bytesAtKill = fr.tb.TotalClientBytes()
+		}
+		lost := fr.tb.Engines[ev.Engine].Device().Used()
+		fr.tb.ExcludeEngine(ev.Engine)
+		fr.startRebuild(lost)
+	case RestartEngine:
+		fr.tb.ReintegrateEngine(ev.Engine)
+	}
+	fr.pendingEvents--
+	fr.restoreCheck(now)
+}
+
+// startRebuild fans the killed engine's lost bytes out across the surviving
+// engines, one paced stream per survivor: read a chunk from local media,
+// move it over the fabric to the next survivor, write it there. The streams
+// run as ordinary sim processes, so they contend with client I/O on the
+// devices and links — that contention is the degraded-mode effect.
+func (fr *FaultRun) startRebuild(lost int64) {
+	if fr.rb.RateGiBs <= 0 || lost <= 0 {
+		return
+	}
+	var survivors []*engine.Engine
+	for _, e := range fr.tb.Engines {
+		if !e.IsDown() {
+			survivors = append(survivors, e)
+		}
+	}
+	if len(survivors) < 2 {
+		return // rebuild needs a source and a destination
+	}
+	chunk := fr.rb.ChunkSize
+	if chunk <= 0 {
+		chunk = 4 << 20
+	}
+	share := lost / int64(len(survivors))
+	rem := lost - share*int64(len(survivors))
+	for i, src := range survivors {
+		total := share
+		if i == 0 {
+			total += rem
+		}
+		if total <= 0 {
+			continue
+		}
+		src, dst := src, survivors[(i+1)%len(survivors)]
+		fr.pendingRebuilds++
+		fr.tb.Sim.Spawn(fmt.Sprintf("rebuild/e%d", src.ID()), func(p *sim.Proc) {
+			fr.stream(p, src, dst, total, chunk)
+			fr.pendingRebuilds--
+			fr.rebuildBytes += total
+			fr.restoreCheck(p.Now())
+		})
+	}
+}
+
+// stream moves total bytes of rebuild traffic from src to dst in chunks,
+// paced so the stream's effective rate never exceeds RateGiBs.
+func (fr *FaultRun) stream(p *sim.Proc, src, dst *engine.Engine, total, chunk int64) {
+	for moved := int64(0); moved < total; {
+		n := chunk
+		if total-moved < n {
+			n = total - moved
+		}
+		t0 := p.Now()
+		src.Device().Read(p, n)
+		fr.tb.Fabric.Move(p, src.Node(), dst.Node(), n)
+		dst.Device().Write(p, n)
+		pace := time.Duration(float64(n) / (fr.rb.RateGiBs * float64(1<<30)) * float64(time.Second))
+		if elapsed := p.Now() - t0; elapsed < pace {
+			p.Sleep(pace - elapsed)
+		}
+		moved += n
+	}
+}
+
+// restoreCheck closes the degraded window once every planned event has
+// fired, every rebuild stream has drained, and every engine is back up. A
+// plan that leaves an engine down never restores: the window stays open
+// until Finish clamps it at the workload end.
+func (fr *FaultRun) restoreCheck(now time.Duration) {
+	if !fr.killed || fr.restored || fr.pendingEvents > 0 || fr.pendingRebuilds > 0 {
+		return
+	}
+	for _, e := range fr.tb.Engines {
+		if e.IsDown() {
+			return
+		}
+	}
+	fr.restored = true
+	fr.restoredAt = now
+	fr.bytesAtRestore = fr.tb.TotalClientBytes()
+}
+
+// Finish closes the measurement at the workload body's end: a window still
+// open (restart never scheduled, rebuild still draining, events planned
+// past the body) clamps to now. Call it exactly once, at the end of the
+// Run body; events scheduled beyond it still fire during Shutdown's drain
+// but are outside the measured window by construction.
+func (fr *FaultRun) Finish(p *sim.Proc) {
+	if fr.finished {
+		return
+	}
+	fr.finished = true
+	end := p.Now()
+	if !fr.killed {
+		// No kill fired inside the workload: there is no degraded window.
+		fr.report.MapTransitions = fr.tb.pmap.Version - fr.startVersion
+		return
+	}
+	if !fr.restored || fr.restoredAt > end {
+		fr.restoredAt = end
+		fr.bytesAtRestore = fr.tb.TotalClientBytes()
+	}
+	window := fr.restoredAt - fr.killAt
+	degraded := fr.bytesAtRestore - fr.bytesAtKill
+	fr.report.RecoverySec = window.Seconds()
+	if secs := window.Seconds(); secs > 0 && degraded > 0 {
+		fr.report.DegradedGiBs = float64(degraded) / float64(1<<30) / secs
+	}
+	fr.report.MapTransitions = fr.tb.pmap.Version - fr.startVersion
+	fr.report.RebuildGiB = float64(fr.rebuildBytes) / float64(1<<30)
+}
+
+// Report returns the degraded-mode measurement. Valid after Finish.
+func (fr *FaultRun) Report() FaultReport { return fr.report }
+
+// TotalClientBytes sums the client payload bytes (update + fetch) served by
+// every engine's RPC handlers. Rebuild traffic bypasses the handlers, so it
+// never counts as client bandwidth.
+func (tb *Testbed) TotalClientBytes() int64 {
+	var total int64
+	for _, e := range tb.Engines {
+		total += e.ClientBytes()
+	}
+	return total
+}

@@ -22,6 +22,9 @@ import (
 //     through the derived seed, which is hashed.
 //   - Config.Seed and Testbed.Seed: runPoint overwrites the testbed seed
 //     with the derived point seed, so only `seed` matters.
+//   - Config.Rebuild with an empty FaultPlan: rebuild traffic only starts
+//     on a kill, so without a plan the rebuild model provably cannot reach
+//     the simulation (InjectFaults returns before reading it).
 //
 // The key is versioned twice: a schema tag for this function's own layout,
 // and sim.KernelVersion for the simulated physics, so a kernel change
@@ -82,6 +85,23 @@ func pointKeyAt(kernel int, cfg Config, v Variant, nodes int, seed uint64) cache
 	h.Duration(t.EngineCosts.RPCCost)
 	h.Duration(t.EngineCosts.PerExtentCost)
 	h.Duration(t.EngineCosts.FirstTouchCost)
+
+	// Fault plan and rebuild model — hashed only when a plan exists, so a
+	// zero-value plan keys byte-identically to the pre-fault schema and
+	// every pre-fault cache entry (memory or disk) stays valid. The block
+	// opens with its own domain tag and the event count, and every field is
+	// fixed-width, so plans of different shapes cannot collide.
+	if len(cfg.FaultPlan) > 0 {
+		h.String("daosim/faults/v1")
+		h.Int(len(cfg.FaultPlan))
+		for _, ev := range cfg.FaultPlan {
+			h.Duration(ev.At)
+			h.Int(int(ev.Kind))
+			h.Int(ev.Engine)
+		}
+		h.Float64(cfg.Rebuild.RateGiBs)
+		h.Int64(cfg.Rebuild.ChunkSize)
+	}
 
 	return h.Sum()
 }

@@ -56,6 +56,8 @@ func FuzzPointKey(f *testing.F) {
 			cfg2.Nodes = []int{4, 2, 1} // point keys ignore grid shape and order
 			cfg2.Seed = seed + 1        // only the derived seed argument matters
 			cfg2.Testbed.Seed++         // runPoint overwrites the testbed seed
+			cfg2.Rebuild.RateGiBs++     // inert without a fault plan
+			cfg2.Rebuild.ChunkSize++
 			v2 := v
 			v2.Label = v.Label + " (renamed)"
 			if pointKey(cfg2, v2, nodes, seed) != base {
@@ -108,6 +110,37 @@ func FuzzPointKey(f *testing.F) {
 				t.Fatalf("mutating %s did not change the key — the cache would serve wrong physics", m.name)
 			}
 		}
+
+		// Fault-plan fields key into a separate address space: adding a plan
+		// moves the key, and every plan/rebuild field moves it again.
+		cfgF := cfg
+		cfgF.FaultPlan = []cluster.FaultEvent{{At: 5 * time.Millisecond, Kind: cluster.KillEngine, Engine: 0}}
+		cfgF.Rebuild = cluster.RebuildConfig{RateGiBs: 2, ChunkSize: 4 << 20}
+		baseF := pointKey(cfgF, v, nodes, seed)
+		if baseF == base {
+			t.Fatal("adding a fault plan did not change the key")
+		}
+		fmuts := []struct {
+			name string
+			edit func(c *Config)
+		}{
+			{"fault at", func(c *Config) { c.FaultPlan[0].At += time.Nanosecond }},
+			{"fault kind", func(c *Config) { c.FaultPlan[0].Kind = cluster.RestartEngine }},
+			{"fault engine", func(c *Config) { c.FaultPlan[0].Engine++ }},
+			{"fault count", func(c *Config) {
+				c.FaultPlan = append(c.FaultPlan, cluster.FaultEvent{At: 9 * time.Millisecond, Kind: cluster.RestartEngine})
+			}},
+			{"rebuild rate", func(c *Config) { c.Rebuild.RateGiBs++ }},
+			{"rebuild chunk", func(c *Config) { c.Rebuild.ChunkSize++ }},
+		}
+		for _, m := range fmuts {
+			c2 := cfgF
+			c2.FaultPlan = append([]cluster.FaultEvent(nil), cfgF.FaultPlan...)
+			m.edit(&c2)
+			if pointKey(c2, v, nodes, seed) == baseF {
+				t.Fatalf("mutating %s did not change the key — the cache would serve wrong physics", m.name)
+			}
+		}
 	})
 }
 
@@ -122,9 +155,11 @@ func TestKeySchemaExhaustive(t *testing.T) {
 		typ  reflect.Type
 		want int
 	}{
-		{"core.Config", reflect.TypeOf(Config{}), 11},
+		{"core.Config", reflect.TypeOf(Config{}), 13},
 		{"core.Variant", reflect.TypeOf(Variant{}), 4},
 		{"cluster.Config", reflect.TypeOf(cluster.Config{}), 9},
+		{"cluster.FaultEvent", reflect.TypeOf(cluster.FaultEvent{}), 3},
+		{"cluster.RebuildConfig", reflect.TypeOf(cluster.RebuildConfig{}), 2},
 		{"fabric.Config", reflect.TypeOf(fabric.Config{}), 4},
 		{"engine.Costs", reflect.TypeOf(engine.Costs{}), 3},
 	}

@@ -74,6 +74,14 @@ type Config struct {
 	// Parallelism bounds how many points run concurrently (defaults to
 	// runtime.GOMAXPROCS(0)). Results are identical at any setting.
 	Parallelism int
+	// FaultPlan schedules deterministic failure injection: each event
+	// fires at its virtual instant relative to the workload start (engine
+	// kill, pool-map exclusion, rebuild traffic; restart re-integrates).
+	// Empty means no faults — byte-identical to a config without the field.
+	FaultPlan []cluster.FaultEvent
+	// Rebuild models the rebuild traffic a kill triggers (rate-paced
+	// streams on the survivors). Only consulted when FaultPlan is non-empty.
+	Rebuild cluster.RebuildConfig
 }
 
 // Point is one measured sweep point.
@@ -82,6 +90,13 @@ type Point struct {
 	Ranks     int
 	WriteGiBs float64
 	ReadGiBs  float64
+	// DegradedGiBs, RecoverySec, and MapTransitions are the degraded-mode
+	// outputs of a point run with a FaultPlan: client bandwidth inside the
+	// degraded window, the window's virtual length, and the pool-map
+	// version steps the plan caused. All zero without a plan.
+	DegradedGiBs   float64
+	RecoverySec    float64
+	MapTransitions int
 	// Elapsed is the host wall-clock time spent simulating this point. It
 	// is execution-dependent and deliberately excluded from Table and CSV.
 	Elapsed time.Duration
@@ -194,7 +209,21 @@ func runPoint(cfg Config, v Variant, nodes int, seed uint64, arena *sim.Arena) (
 	defer tb.Shutdown()
 	var res *ior.Result
 	var runErr error
+	var faults *cluster.FaultRun
 	tb.Run(func(p *sim.Proc) {
+		var err error
+		// The fault plan's clock starts with the workload body, before pool
+		// and namespace setup, so event times are pure config.
+		faults, err = tb.InjectFaults(p, cfg.FaultPlan, cfg.Rebuild)
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer func() {
+			if faults != nil {
+				faults.Finish(p)
+			}
+		}()
 		env, err := ior.NewEnv(p, tb, nodes, cfg.PPN)
 		if err != nil {
 			runErr = err
@@ -217,12 +246,19 @@ func runPoint(cfg Config, v Variant, nodes int, seed uint64, arena *sim.Arena) (
 	if runErr != nil {
 		return Point{}, runErr
 	}
-	return Point{
+	pt := Point{
 		Nodes:     nodes,
 		Ranks:     nodes * cfg.PPN,
 		WriteGiBs: res.Write.MaxGiBs,
 		ReadGiBs:  res.Read.MaxGiBs,
-	}, nil
+	}
+	if faults != nil {
+		rep := faults.Report()
+		pt.DegradedGiBs = rep.DegradedGiBs
+		pt.RecoverySec = rep.RecoverySec
+		pt.MapTransitions = rep.MapTransitions
+	}
+	return pt, nil
 }
 
 // Table renders one panel (write or read) as an aligned text table with

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"daosim/internal/cluster"
+	"daosim/internal/ior"
+	"daosim/internal/placement"
+)
+
+// faultConfig is tinyConfig with larger blocks (so the workload body spans
+// tens of virtual milliseconds: ~5ms of pool/namespace setup, then the
+// write and read phases) plus a mid-workload kill/restart plan: the 15ms
+// kill and 45ms restart both land inside the write phase.
+func faultConfig() Config {
+	cfg := tinyConfig("easy", []Variant{{Label: "daos S2", API: ior.APIDFS, Class: placement.S2}})
+	cfg.Nodes = []int{2}
+	cfg.BlockSize = 32 << 20
+	cfg.FaultPlan = []cluster.FaultEvent{
+		{At: 15 * time.Millisecond, Kind: cluster.KillEngine, Engine: 0},
+		{At: 45 * time.Millisecond, Kind: cluster.RestartEngine, Engine: 0},
+	}
+	cfg.Rebuild = cluster.RebuildConfig{RateGiBs: 2}
+	return cfg
+}
+
+// TestFaultPointDegradedOutputs proves a mid-workload kill/restart produces
+// the degraded-mode outputs: a nonzero degraded-window bandwidth, a nonzero
+// recovery time, and one pool-map version step per excluded and restored
+// target — while the workload itself still completes with positive
+// bandwidth (client I/O fails over instead of erroring).
+func TestFaultPointDegradedOutputs(t *testing.T) {
+	st, err := Run(faultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := st.Series[0].Points[0]
+	if pt.WriteGiBs <= 0 || pt.ReadGiBs <= 0 {
+		t.Fatalf("workload did not survive the fault: %+v", pt)
+	}
+	if pt.DegradedGiBs <= 0 {
+		t.Fatalf("degraded bandwidth = %v, want > 0", pt.DegradedGiBs)
+	}
+	if pt.RecoverySec <= 0 {
+		t.Fatalf("recovery time = %v, want > 0", pt.RecoverySec)
+	}
+	// Each event steps the map version once per target on the engine: kill
+	// excludes TargetsPerEngine targets, restart restores them.
+	want := 2 * cluster.Small().TargetsPerEngine
+	if pt.MapTransitions != want {
+		t.Fatalf("map transitions = %d, want %d", pt.MapTransitions, want)
+	}
+	// Degraded-window bandwidth must be below the healthy aggregate: one
+	// engine is gone and rebuild traffic contends for the survivors.
+	healthy := faultConfig()
+	healthy.FaultPlan = nil
+	hst, err := Run(healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hpt := hst.Series[0].Points[0]; pt.DegradedGiBs >= hpt.WriteGiBs+hpt.ReadGiBs {
+		t.Fatalf("degraded %v not below healthy write+read %v", pt.DegradedGiBs, hpt.WriteGiBs+hpt.ReadGiBs)
+	}
+}
+
+// TestFaultPointDeterministic proves a faulted point is a pure function of
+// its configuration: two independent runs agree bit-for-bit on every
+// measured field, including the degraded-mode outputs.
+func TestFaultPointDeterministic(t *testing.T) {
+	a, err := Run(faultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(faultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.Series[0].Points[0], b.Series[0].Points[0]
+	pa.Elapsed, pb.Elapsed = 0, 0 // host wall-clock, not a measured field
+	if pa != pb {
+		t.Fatalf("faulted point not deterministic:\n%+v\n%+v", pa, pb)
+	}
+}
+
+// TestFaultKillWithoutRestart proves a kill with no restart leaves the
+// window open until the body ends: recovery clamps to the workload end and
+// the map only steps down (exclusions, no restores).
+func TestFaultKillWithoutRestart(t *testing.T) {
+	cfg := faultConfig()
+	cfg.FaultPlan = cfg.FaultPlan[:1] // kill only
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := st.Series[0].Points[0]
+	if want := cluster.Small().TargetsPerEngine; pt.MapTransitions != want {
+		t.Fatalf("map transitions = %d, want %d", pt.MapTransitions, want)
+	}
+	if pt.RecoverySec <= 0 || pt.WriteGiBs <= 0 || pt.ReadGiBs <= 0 {
+		t.Fatalf("kill-only point: %+v", pt)
+	}
+}
+
+// TestFaultPlanValidation proves a malformed plan fails the point up front
+// instead of firing garbage into the simulation.
+func TestFaultPlanValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ev   cluster.FaultEvent
+	}{
+		{"negative at", cluster.FaultEvent{At: -time.Millisecond, Kind: cluster.KillEngine}},
+		{"unknown kind", cluster.FaultEvent{At: time.Millisecond, Kind: cluster.FaultKind(99)}},
+		{"engine out of range", cluster.FaultEvent{At: time.Millisecond, Kind: cluster.KillEngine, Engine: 999}},
+	} {
+		cfg := faultConfig()
+		cfg.FaultPlan = []cluster.FaultEvent{tc.ev}
+		_, err := Run(cfg)
+		if err == nil || !strings.Contains(err.Error(), "fault") {
+			t.Errorf("%s: err = %v, want fault validation error", tc.name, err)
+		}
+	}
+}

@@ -129,17 +129,26 @@ func (j PointJob) ExecuteIn(arena *sim.Arena) Point {
 // which never reaches Table or CSV).
 func (j PointJob) FromEntry(e cache.Entry) Point {
 	return Point{
-		Nodes:     j.Nodes,
-		Ranks:     j.Nodes * j.Cfg.PPN,
-		WriteGiBs: e.WriteGiBs,
-		ReadGiBs:  e.ReadGiBs,
+		Nodes:          j.Nodes,
+		Ranks:          j.Nodes * j.Cfg.PPN,
+		WriteGiBs:      e.WriteGiBs,
+		ReadGiBs:       e.ReadGiBs,
+		DegradedGiBs:   e.DegradedGiBs,
+		RecoverySec:    e.RecoverySec,
+		MapTransitions: int(e.MapTransitions),
 	}
 }
 
 // CacheEntry returns the cache entry memoizing this point. Callers must not
 // cache failed points (Point.Err non-empty): an error is not a measurement.
 func (p Point) CacheEntry() cache.Entry {
-	return cache.Entry{WriteGiBs: p.WriteGiBs, ReadGiBs: p.ReadGiBs}
+	return cache.Entry{
+		WriteGiBs:      p.WriteGiBs,
+		ReadGiBs:       p.ReadGiBs,
+		DegradedGiBs:   p.DegradedGiBs,
+		RecoverySec:    p.RecoverySec,
+		MapTransitions: int64(p.MapTransitions),
+	}
 }
 
 // PointErrors is the error a sweep returns when it ran to completion but

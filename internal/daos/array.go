@@ -1,9 +1,11 @@
 package daos
 
 import (
+	"errors"
 	"fmt"
 
 	"daosim/internal/engine"
+	"daosim/internal/fabric"
 	"daosim/internal/sim"
 	"daosim/internal/vos"
 )
@@ -149,15 +151,23 @@ func (a *Array) Size(p *sim.Proc) (int64, error) {
 	var firstErr error
 	wg := sim.NewWaitGroup(c.sim)
 	for _, sh := range a.Obj.Layout.Shards {
-		tgt := sh[0]
+		sh := sh
 		wg.Go("daos-size", func(cp *sim.Proc) {
-			resp := a.Obj.call(cp, tgt, &engine.SizeReq{
-				Cont:      a.Obj.cont.UUID,
-				OID:       a.Obj.OID,
-				Target:    tgt,
-				Akey:      arrayAkey,
-				ChunkSize: a.ChunkSize,
-			})
+			// Like Fetch, fall back across the shard's replicas when the
+			// leader's engine is down (failure injection).
+			var resp fabric.Response
+			for _, tgt := range sh {
+				resp = a.Obj.call(cp, tgt, &engine.SizeReq{
+					Cont:      a.Obj.cont.UUID,
+					OID:       a.Obj.OID,
+					Target:    tgt,
+					Akey:      arrayAkey,
+					ChunkSize: a.ChunkSize,
+				})
+				if resp.Err == nil || !errors.Is(resp.Err, engine.ErrEngineDown) {
+					break
+				}
+			}
 			if resp.Err != nil {
 				if firstErr == nil {
 					firstErr = resp.Err

@@ -258,50 +258,93 @@ func (o *Object) call(p *sim.Proc, targetID int, body interface{}) fabric.Respon
 	})
 }
 
-// targetWrites groups writes by destination target.
+// targetWrites groups writes by destination target. pos holds each write's
+// index in the caller's batch, parallel to writes, so a failed group can be
+// retried without duplicating writes that appear in several groups.
 type targetWrites struct {
 	target int
 	writes []engine.WriteExt
+	pos    []int
 }
 
+// Failover bounds for I/O against a freshly killed engine: an RPC that
+// fails with engine.ErrEngineDown is retried against a layout recomputed
+// from the bumped pool map, after a short virtual backoff (the exclusion
+// lands at the same virtual instant as the failure; the backoff orders the
+// refresh after it). Both constants are virtual time and fixed, so failover
+// is as deterministic as the fault that triggered it.
+const (
+	maxFailover     = 5
+	failoverBackoff = time.Millisecond
+)
+
 // Update writes a batch of extents, fanning out one RPC per (target,
-// replica) in parallel and waiting for all to complete.
+// replica) in parallel and waiting for all to complete. Writes that land on
+// a killed engine fail over: the layout is recomputed against the current
+// pool map and only the failed writes are reissued (a write replicated
+// across groups may be re-sent to a surviving replica that already holds
+// it, exactly as a real client restarting an update at a new map version
+// would).
 func (o *Object) Update(p *sim.Proc, writes []engine.WriteExt) error {
-	if err := o.refresh(); err != nil {
-		return err
-	}
-	groups := o.groupWrites(writes)
 	c := o.cont.Pool.client
-	wg := sim.NewWaitGroup(c.sim)
-	errs := make([]error, 0, 4)
-	for _, g := range groups {
-		g := g
-		wg.Go("daos-update", func(cp *sim.Proc) {
-			resp := o.call(cp, g.target, &engine.UpdateReq{
-				Cont:   o.cont.UUID,
-				OID:    o.OID,
-				Target: g.target,
-				Writes: g.writes,
+	remaining := writes
+	for attempt := 0; ; attempt++ {
+		if err := o.refresh(); err != nil {
+			return fmt.Errorf("daos: update: %w", err)
+		}
+		groups := o.groupWrites(remaining)
+		wg := sim.NewWaitGroup(c.sim)
+		groupErrs := make([]error, len(groups))
+		for gi := range groups {
+			gi, g := gi, &groups[gi]
+			wg.Go("daos-update", func(cp *sim.Proc) {
+				resp := o.call(cp, g.target, &engine.UpdateReq{
+					Cont:   o.cont.UUID,
+					OID:    o.OID,
+					Target: g.target,
+					Writes: g.writes,
+				})
+				groupErrs[gi] = resp.Err
 			})
-			if resp.Err != nil {
-				errs = append(errs, resp.Err)
+			// Sub-RPC issuance is serialized on the client core.
+			p.Sleep(c.costs.RPCIssue)
+		}
+		wg.Wait(p)
+		retry := make([]bool, len(remaining))
+		nRetry := 0
+		for gi, err := range groupErrs {
+			if err == nil {
+				continue
 			}
-		})
-		// Sub-RPC issuance is serialized on the client core.
-		p.Sleep(c.costs.RPCIssue)
+			if !errors.Is(err, engine.ErrEngineDown) || attempt >= maxFailover {
+				return fmt.Errorf("daos: update: %w", err)
+			}
+			for _, pos := range groups[gi].pos {
+				if !retry[pos] {
+					retry[pos] = true
+					nRetry++
+				}
+			}
+		}
+		if nRetry == 0 {
+			return nil
+		}
+		next := make([]engine.WriteExt, 0, nRetry)
+		for i, w := range remaining {
+			if retry[i] {
+				next = append(next, w)
+			}
+		}
+		remaining = next
+		p.Sleep(failoverBackoff)
 	}
-	wg.Wait(p)
-	if len(errs) > 0 {
-		return fmt.Errorf("daos: update: %w", errs[0])
-	}
-	return nil
 }
 
 // groupWrites buckets writes per (shard target x replica).
 func (o *Object) groupWrites(writes []engine.WriteExt) []targetWrites {
 	byTarget := make(map[int]*targetWrites)
 	var order []int
-	for _, w := range writes {
+	for i, w := range writes {
 		shard := o.shardForDkey(w.Dkey)
 		for _, tgt := range o.Layout.Shards[shard] {
 			g, ok := byTarget[tgt]
@@ -311,6 +354,7 @@ func (o *Object) groupWrites(writes []engine.WriteExt) []targetWrites {
 				order = append(order, tgt)
 			}
 			g.writes = append(g.writes, w)
+			g.pos = append(g.pos, i)
 		}
 	}
 	out := make([]targetWrites, 0, len(order))
@@ -330,63 +374,85 @@ type fetchGroup struct {
 }
 
 // Fetch reads a batch of extents at the given epoch (0 = latest), returning
-// data parallel to reads. Failed targets fall back to the next replica.
+// data parallel to reads. Failed targets fall back to the next replica
+// within the RPC, and shards whose every replica is down fail over: the
+// layout is recomputed against the current pool map and only the failed
+// reads are reissued. Extents whose data was lost with a killed engine
+// read as holes (nil) from the fallback target, like any unwritten region.
 func (o *Object) Fetch(p *sim.Proc, reads []engine.ReadExt, epoch vos.Epoch) ([][]byte, error) {
-	if err := o.refresh(); err != nil {
-		return nil, err
-	}
-	byShard := make(map[int]*fetchGroup)
-	var order []int
-	for i, rd := range reads {
-		shard := o.shardForDkey(rd.Dkey)
-		g, ok := byShard[shard]
-		if !ok {
-			g = &fetchGroup{
-				target:  o.Layout.Shards[shard][0],
-				replica: o.Layout.Shards[shard],
-			}
-			byShard[shard] = g
-			order = append(order, shard)
-		}
-		g.reads = append(g.reads, rd)
-		g.pos = append(g.pos, i)
-	}
 	c := o.cont.Pool.client
 	out := make([][]byte, len(reads))
-	wg := sim.NewWaitGroup(c.sim)
-	errs := make([]error, 0, 4)
-	for _, shard := range order {
-		g := byShard[shard]
-		wg.Go("daos-fetch", func(cp *sim.Proc) {
-			var resp fabric.Response
-			for _, tgt := range g.replica {
-				resp = o.call(cp, tgt, &engine.FetchReq{
-					Cont:   o.cont.UUID,
-					OID:    o.OID,
-					Target: tgt,
-					Reads:  g.reads,
-					Epoch:  epoch,
-				})
-				if resp.Err == nil || !errors.Is(resp.Err, engine.ErrEngineDown) {
-					break
+	remaining := make([]int, len(reads))
+	for i := range reads {
+		remaining[i] = i
+	}
+	for attempt := 0; ; attempt++ {
+		if err := o.refresh(); err != nil {
+			return nil, fmt.Errorf("daos: fetch: %w", err)
+		}
+		byShard := make(map[int]*fetchGroup)
+		var order []int
+		for _, pos := range remaining {
+			rd := reads[pos]
+			shard := o.shardForDkey(rd.Dkey)
+			g, ok := byShard[shard]
+			if !ok {
+				g = &fetchGroup{
+					target:  o.Layout.Shards[shard][0],
+					replica: o.Layout.Shards[shard],
 				}
+				byShard[shard] = g
+				order = append(order, shard)
 			}
-			if resp.Err != nil {
-				errs = append(errs, resp.Err)
-				return
+			g.reads = append(g.reads, rd)
+			g.pos = append(g.pos, pos)
+		}
+		wg := sim.NewWaitGroup(c.sim)
+		groupErrs := make([]error, len(order))
+		for oi, shard := range order {
+			oi, g := oi, byShard[shard]
+			wg.Go("daos-fetch", func(cp *sim.Proc) {
+				var resp fabric.Response
+				for _, tgt := range g.replica {
+					resp = o.call(cp, tgt, &engine.FetchReq{
+						Cont:   o.cont.UUID,
+						OID:    o.OID,
+						Target: tgt,
+						Reads:  g.reads,
+						Epoch:  epoch,
+					})
+					if resp.Err == nil || !errors.Is(resp.Err, engine.ErrEngineDown) {
+						break
+					}
+				}
+				if resp.Err != nil {
+					groupErrs[oi] = resp.Err
+					return
+				}
+				fr := resp.Body.(*engine.FetchResp)
+				for j, pos := range g.pos {
+					out[pos] = fr.Data[j]
+				}
+			})
+			p.Sleep(c.costs.RPCIssue)
+		}
+		wg.Wait(p)
+		var next []int
+		for oi, err := range groupErrs {
+			if err == nil {
+				continue
 			}
-			fr := resp.Body.(*engine.FetchResp)
-			for j, pos := range g.pos {
-				out[pos] = fr.Data[j]
+			if !errors.Is(err, engine.ErrEngineDown) || attempt >= maxFailover {
+				return nil, fmt.Errorf("daos: fetch: %w", err)
 			}
-		})
-		p.Sleep(c.costs.RPCIssue)
+			next = append(next, byShard[order[oi]].pos...)
+		}
+		if len(next) == 0 {
+			return out, nil
+		}
+		remaining = next
+		p.Sleep(failoverBackoff)
 	}
-	wg.Wait(p)
-	if len(errs) > 0 {
-		return nil, fmt.Errorf("daos: fetch: %w", errs[0])
-	}
-	return out, nil
 }
 
 // Punch deletes the object on every shard.

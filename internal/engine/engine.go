@@ -84,6 +84,12 @@ type Engine struct {
 
 	// RPCs counts object RPCs served.
 	RPCs int64
+	// clientWrBytes and clientRdBytes count client payload bytes moved by
+	// the update and fetch handlers. Rebuild traffic writes to devices
+	// directly and never increments them, so the pair isolates client
+	// bandwidth for degraded-window measurement.
+	clientWrBytes int64
+	clientRdBytes int64
 }
 
 // target is one VOS target: an xstream plus per-container VOS stores.
@@ -155,6 +161,13 @@ func (e *Engine) tierSplit(writes []WriteExt) (scm, bulk int64) {
 // SetDown marks the engine failed (failure injection); RPCs return
 // ErrEngineDown until it is cleared.
 func (e *Engine) SetDown(down bool) { e.down = down }
+
+// IsDown reports whether the engine is currently failed.
+func (e *Engine) IsDown() bool { return e.down }
+
+// ClientBytes returns the client payload bytes (update + fetch) this
+// engine's RPC handlers have served.
+func (e *Engine) ClientBytes() int64 { return e.clientWrBytes + e.clientRdBytes }
 
 // ErrEngineDown reports an RPC against a failed engine.
 var ErrEngineDown = errors.New("engine: down")
@@ -374,6 +387,7 @@ func (e *Engine) handleUpdate(p *sim.Proc, r *UpdateReq) fabric.Response {
 	if first {
 		p.Sleep(e.cfg.Costs.FirstTouchCost)
 	}
+	e.clientWrBytes += bytes
 	scmBytes, bulkBytes := e.tierSplit(r.Writes)
 	if err := e.device.Alloc(scmBytes); err != nil {
 		return fabric.Response{Err: err, Size: 64}
@@ -469,6 +483,7 @@ func (e *Engine) handleFetch(p *sim.Proc, r *FetchReq) fabric.Response {
 		bytes -= bulkBytes
 	}
 	e.device.Read(p, bytes)
+	e.clientRdBytes += size - 64
 	return fabric.Response{Body: resp, Size: size}
 }
 

@@ -2,7 +2,9 @@ package studysvc
 
 import (
 	"context"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"sync/atomic"
 	"time"
 )
@@ -25,6 +27,7 @@ type Member struct {
 type member struct {
 	name string
 	w    Worker
+	rng  *rand.Rand // probe-jitter source; only the member's pool goroutine draws from it
 
 	down         atomic.Bool
 	points       atomic.Int64 // completed points (success or point-level failure)
@@ -72,13 +75,43 @@ func (m *member) close() {
 // probeTimeout bounds one health probe of a down member.
 const probeTimeout = 5 * time.Second
 
+// processSalt decorrelates probe jitter across coordinator processes: two
+// daosd instances probing the same dead peer (so: identical member names,
+// identical FNV seeds) must still spread their probes apart, or a fleet of
+// coordinators hammers the recovering peer in lockstep.
+var processSalt = rand.Uint64()
+
+// probeRNG seeds a member's jitter source from its name mixed with the
+// per-process salt, so distinct members of one server — and same-named
+// members of distinct servers — draw independent jitter sequences.
+func probeRNG(name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(int64(h.Sum64() ^ processSalt)))
+}
+
+// probeWait jitters one backoff interval into [backoff/2, backoff]: enough
+// spread to break lockstep, while never waiting longer than the nominal
+// backoff (readmission latency stays bounded by the un-jittered schedule).
+func probeWait(rng *rand.Rand, backoff time.Duration) time.Duration {
+	half := backoff / 2
+	if half <= 0 {
+		return backoff
+	}
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
 // probeUntilUp holds a failed member out of the pool and re-probes it with
-// exponential backoff (Config.ProbeBase doubling up to Config.ProbeMax)
-// until the probe succeeds or the server shuts down. While it runs, the
-// member's goroutine is not receiving from the job queue — being down IS
-// not being scheduled. Returns false when shutdown interrupted the wait.
-// Workers without a Probe are readmitted after a single backoff interval:
-// with no way to check them, one quarantine period is the only gate.
+// jittered exponential backoff (Config.ProbeBase doubling up to
+// Config.ProbeMax, each wait drawn from [backoff/2, backoff] by the member's
+// seeded RNG) until the probe succeeds or the server shuts down. While it
+// runs, the member's goroutine is not receiving from the job queue — being
+// down IS not being scheduled. Returns false when shutdown interrupted the
+// wait. Each probe's context derives from the server's probe context, so
+// Close cancels a probe already in flight instead of waiting out its
+// timeout. Workers without a Probe are readmitted after a single backoff
+// interval: with no way to check them, one quarantine period is the only
+// gate.
 func (s *Server) probeUntilUp(m *member) bool {
 	m.down.Store(true)
 	backoff := s.cfg.ProbeBase
@@ -86,18 +119,21 @@ func (s *Server) probeUntilUp(m *member) bool {
 		select {
 		case <-s.quit:
 			return false
-		case <-time.After(backoff):
+		case <-time.After(probeWait(m.rng, backoff)):
 		}
 		prober, ok := m.w.(Prober)
 		if !ok {
 			break
 		}
 		m.probes.Add(1)
-		ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+		ctx, cancel := context.WithTimeout(s.probeCtx, probeTimeout)
 		err := prober.Probe(ctx)
 		cancel()
 		if err == nil {
 			break
+		}
+		if s.probeCtx.Err() != nil {
+			return false
 		}
 		if backoff *= 2; backoff > s.cfg.ProbeMax {
 			backoff = s.cfg.ProbeMax

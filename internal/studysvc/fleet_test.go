@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -488,6 +489,110 @@ func TestRemoteWorkerExecutesOnPeer(t *testing.T) {
 	deadTS.Close()
 	if _, err := NewRemoteWorker(deadTS.URL).RunPoint(context.Background(), j); err == nil {
 		t.Fatal("RunPoint against a dead peer returned nil error")
+	}
+}
+
+// blackholeProber is a worker whose points always fail and whose health
+// probe hangs until its context is cancelled — modeling a peer that accepts
+// TCP but never answers /v1/healthz. probing signals (once, non-blocking)
+// when a probe is in flight.
+type blackholeProber struct {
+	probing chan struct{}
+}
+
+func (w *blackholeProber) RunPoint(ctx context.Context, j core.PointJob) (core.Point, error) {
+	return core.Point{}, errors.New("blackhole: connection reset")
+}
+
+func (w *blackholeProber) Probe(ctx context.Context) error {
+	select {
+	case w.probing <- struct{}{}:
+	default:
+	}
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// TestCloseCancelsInFlightProbes is the satellite probe-shutdown regression
+// (run under -race in CI): a down member whose health probe is wedged must
+// not survive Server.Close. Close cancels the server's probe context, so
+// the in-flight probe returns immediately — instead of riding out its 5s
+// probeTimeout and stalling the drain — and the member's pool goroutine
+// exits, returning the process to its pre-server goroutine count.
+func TestCloseCancelsInFlightProbes(t *testing.T) {
+	tr := &http.Transport{}
+	httpc := &http.Client{Transport: tr}
+	baseline := runtime.NumGoroutine()
+
+	bh := &blackholeProber{probing: make(chan struct{}, 1)}
+	srv := New(fastProbes(Config{
+		Members: []Member{
+			{Name: "blackhole", Worker: bh},
+			// The healthy worker is slow, so the blackhole member is the
+			// free slot and is guaranteed to receive (and fail) a job.
+			{Name: "steady", Worker: stubWorker{delay: 10 * time.Millisecond}},
+		},
+	}))
+	ts := httptest.NewServer(srv)
+	client := NewClient(ts.URL)
+	client.HTTP = httpc
+
+	grid := smallConfig([]core.Variant{{Label: "daos S2", API: ior.APIDFS}})
+	grid.Nodes = []int{1, 2, 3, 4}
+	// The sweep itself must ride through the dead worker via retries...
+	if _, err := client.Submit(context.Background(), []core.Config{grid}); err != nil {
+		t.Fatalf("sweep did not survive the dead worker: %v", err)
+	}
+	// ...leaving the blackhole member down, with a probe wedged in flight.
+	<-bh.probing
+
+	start := time.Now()
+	ts.Close()
+	srv.Close()
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("Close blocked %v on a wedged probe; the probe context was not cancelled", waited)
+	}
+	tr.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("probe goroutines leaked after Close: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestProbeWaitJitterBounds pins the jitter contract: every re-probe wait
+// falls in [backoff/2, backoff] — bounded readmission latency — and two
+// members draw different sequences, so a fleet of coordinators does not
+// probe a recovering peer in lockstep.
+func TestProbeWaitJitterBounds(t *testing.T) {
+	a, b := probeRNG("peer-a"), probeRNG("peer-b")
+	backoff := 100 * time.Millisecond
+	identical := true
+	for i := 0; i < 1000; i++ {
+		wa, wb := probeWait(a, backoff), probeWait(b, backoff)
+		for _, w := range []time.Duration{wa, wb} {
+			if w < backoff/2 || w > backoff {
+				t.Fatalf("wait %v outside [%v, %v]", w, backoff/2, backoff)
+			}
+		}
+		if wa != wb {
+			identical = false
+		}
+	}
+	if identical {
+		t.Fatal("two members drew identical jitter sequences")
+	}
+	// A degenerate backoff must neither panic nor exceed the nominal wait.
+	if w := probeWait(probeRNG("x"), 1); w != 1 {
+		t.Fatalf("degenerate backoff wait = %v", w)
 	}
 }
 

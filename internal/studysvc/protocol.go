@@ -92,6 +92,12 @@ type StreamPoint struct {
 	Ranks     int     `json:"ranks"`
 	WriteGiBs float64 `json:"write_gibs"`
 	ReadGiBs  float64 `json:"read_gibs"`
+	// DegradedGiBs, RecoverySec, and MapTransitions mirror the
+	// degraded-mode outputs of fault-injected points (zero, and omitted
+	// on the wire, for points without a fault plan).
+	DegradedGiBs   float64 `json:"degraded_gibs,omitempty"`
+	RecoverySec    float64 `json:"recovery_sec,omitempty"`
+	MapTransitions int     `json:"map_transitions,omitempty"`
 	// ElapsedNS is the executing worker's host wall-clock for the point.
 	ElapsedNS int64  `json:"elapsed_ns"`
 	Err       string `json:"err,omitempty"`
@@ -126,27 +132,33 @@ type Trailer struct {
 // toWire converts an executed point into its stream line.
 func toWire(j core.PointJob, pt core.Point, hit bool) StreamPoint {
 	return StreamPoint{
-		Study:     j.Study,
-		Series:    j.Series,
-		Index:     j.Index,
-		Nodes:     pt.Nodes,
-		Ranks:     pt.Ranks,
-		WriteGiBs: pt.WriteGiBs,
-		ReadGiBs:  pt.ReadGiBs,
-		ElapsedNS: int64(pt.Elapsed),
-		Err:       pt.Err,
-		CacheHit:  hit,
+		Study:          j.Study,
+		Series:         j.Series,
+		Index:          j.Index,
+		Nodes:          pt.Nodes,
+		Ranks:          pt.Ranks,
+		WriteGiBs:      pt.WriteGiBs,
+		ReadGiBs:       pt.ReadGiBs,
+		DegradedGiBs:   pt.DegradedGiBs,
+		RecoverySec:    pt.RecoverySec,
+		MapTransitions: pt.MapTransitions,
+		ElapsedNS:      int64(pt.Elapsed),
+		Err:            pt.Err,
+		CacheHit:       hit,
 	}
 }
 
 // toPoint converts a stream line back into the core.Point it carries.
 func (sp StreamPoint) toPoint() core.Point {
 	return core.Point{
-		Nodes:     sp.Nodes,
-		Ranks:     sp.Ranks,
-		WriteGiBs: sp.WriteGiBs,
-		ReadGiBs:  sp.ReadGiBs,
-		Elapsed:   time.Duration(sp.ElapsedNS),
-		Err:       sp.Err,
+		Nodes:          sp.Nodes,
+		Ranks:          sp.Ranks,
+		WriteGiBs:      sp.WriteGiBs,
+		ReadGiBs:       sp.ReadGiBs,
+		DegradedGiBs:   sp.DegradedGiBs,
+		RecoverySec:    sp.RecoverySec,
+		MapTransitions: sp.MapTransitions,
+		Elapsed:        time.Duration(sp.ElapsedNS),
+		Err:            sp.Err,
 	}
 }

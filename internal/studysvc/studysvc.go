@@ -122,6 +122,12 @@ type Server struct {
 	wg      sync.WaitGroup
 	mux     *http.ServeMux
 
+	// probeCtx parents every health probe of a down member; Close cancels
+	// it so probes in flight return immediately instead of riding out
+	// probeTimeout and stalling the drain.
+	probeCtx    context.Context
+	probeCancel context.CancelFunc
+
 	draining  atomic.Bool
 	retries   atomic.Int64 // jobs re-dispatched after a worker failure
 	closeOnce sync.Once
@@ -157,6 +163,7 @@ func New(cfg Config) *Server {
 		quit:  make(chan struct{}),
 		mux:   http.NewServeMux(),
 	}
+	s.probeCtx, s.probeCancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Workers; i++ {
 		s.members = append(s.members, &member{name: fmt.Sprintf("local/%d", i), w: cfg.NewWorker()})
 	}
@@ -174,6 +181,9 @@ func New(cfg Config) *Server {
 	}
 	for _, m := range cfg.Members {
 		s.members = append(s.members, &member{name: m.Name, w: m.Worker})
+	}
+	for _, m := range s.members {
+		m.rng = probeRNG(m.name)
 	}
 	s.mux.HandleFunc("POST "+PathSubmit, s.handleSubmit)
 	s.mux.HandleFunc("POST "+PathSubmitPoints, s.handleSubmitPoints)
@@ -212,6 +222,7 @@ func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.draining.Store(true)
 		close(s.quit)
+		s.probeCancel()
 	})
 	s.wg.Wait()
 }
