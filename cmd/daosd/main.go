@@ -19,6 +19,7 @@
 //	daosd -parallel 8          # shard width: at most 8 concurrent points
 //	daosd -cache               # memoize points under ~/.daosim/cache
 //	daosd -cache-dir .c        # memoize points under ./.c (implies -cache)
+//	daosd -cache-peer http://h0:9464               # mount h0's cache as a shared remote tier
 //	daosd -workers http://h1:9464,http://h2:9464   # coordinate a fleet
 //	daosd -workers ... -parallel 2 -remote-slots 4 # plus 2 local slots, 4 in-flight points per peer
 //
@@ -56,10 +57,11 @@ func main() {
 		remoteSlots = flag.Int("remote-slots", 1, "point jobs kept in flight per remote worker")
 		cacheOn     = flag.Bool("cache", false, "memoize sweep points (disk tier under ~/.daosim/cache unless -cache-dir overrides)")
 		cacheDir    = flag.String("cache-dir", "", "on-disk cache tier directory (implies -cache; explicitly empty = memory-only)")
+		cachePeer   = flag.String("cache-peer", "", "peer daosd URL whose cache joins the stack as a remote tier (enables caching)")
 	)
 	flag.Parse()
 
-	pointCache, err := cache.Open(*cacheOn, cache.FlagPassed("cache-dir"), *cacheDir)
+	pointCache, err := cache.Open(*cacheOn, cache.FlagPassed("cache-dir"), *cacheDir, *cachePeer)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,6 +85,9 @@ func main() {
 	cacheState := "off"
 	if pointCache != nil {
 		cacheState = "on"
+		if *cachePeer != "" {
+			cacheState = "on, peer " + *cachePeer
+		}
 	}
 	// The listening line is the readiness marker scripts and CI wait for.
 	fmt.Printf("daosd: listening on http://%s (workers=%d, cache=%s, GOMAXPROCS=%d)\n",

@@ -168,7 +168,9 @@ func runStats(args []string, out io.Writer) error {
 			m.Name, m.State, m.Points, m.Failures, m.Probes, m.Readmissions)
 	}
 	if st.Cache != nil {
-		fmt.Fprintf(out, "cache: %v\n", *st.Cache)
+		// Stats.String carries its own "cache:" prefix (and the remote-tier
+		// counters when a shared tier is in play).
+		fmt.Fprintln(out, st.Cache.String())
 	}
 	return nil
 }

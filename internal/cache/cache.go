@@ -11,33 +11,41 @@
 // derived point seed, testbed sizing and cost models, and sim.KernelVersion).
 // The cache itself treats keys as opaque: callers build them with a Hasher,
 // which writes fixed-width, length-prefixed fields so distinct field
-// sequences can never collide by concatenation.
+// sequences can never collide by concatenation. Because the encoding is
+// canonical, keys are also identical across machines: two daosds that
+// derive the same digest are by construction asking for the same point,
+// which is what makes the cache safe to share over the network.
 //
 // # Tiers
 //
-// The cache has two tiers. The in-memory tier is a bounded LRU map; it
-// serves repeated lookups within one process. The optional on-disk tier
-// (Options.Dir, one small checksummed file per key) persists points across
-// processes so CI re-runs and repeated command invocations start warm. Disk
-// entries hydrate the memory tier on hit; memory evictions do not remove
-// disk files.
+// The cache is a stack of Tier implementations consulted in order. The
+// in-memory tier is a bounded LRU map, always present; it serves repeated
+// lookups within one process. The optional on-disk tier (Options.Dir, one
+// small checksummed file per key) persists points across processes so CI
+// re-runs and repeated command invocations start warm. The optional remote
+// tier (Options.Peer) reads and writes a peer daosd's cache over HTTP,
+// which is what makes dedup fleet-global: any daosim process pointed at
+// the same peer shares one pool of completed points. A hit in a lower tier
+// hydrates every tier above it; a store writes through all of them.
+//
+// Every tier is an accelerator, never a system of record: a tier that is
+// missing, corrupt, down, or slow degrades to a miss — the simulator
+// re-runs the point — and never to an error.
 //
 // # Invalidation and corruption
 //
 // Entries are never invalidated in place: a change to the simulated physics
 // is a sim.KernelVersion bump, which changes every key and orphans old
-// entries. Loads are corruption-tolerant by construction — a file that is
+// entries. Loads are corruption-tolerant by construction — an entry that is
 // missing, truncated, mis-sized, or fails its checksum is a miss (counted in
-// Stats.Corrupt), never an error, and the subsequent store overwrites it.
+// Stats.Corrupt), never an error. The disk tier quarantines an undecodable
+// file when it first sees it, so Stats.Corrupt counts distinct corruption
+// events rather than re-counting one bad file on every lookup, and the
+// subsequent store repairs the slot.
 package cache
 
 import (
-	"container/list"
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
-	"math"
-	"os"
 	"path/filepath"
 	"sync"
 )
@@ -59,267 +67,211 @@ type Entry struct {
 
 // Options configures a Cache.
 type Options struct {
-	// MaxEntries bounds the in-memory LRU tier (default 4096).
+	// MaxEntries bounds the in-memory tier (default 4096 — a full paper
+	// sweep is a few hundred points, so the default never evicts in
+	// practice).
 	MaxEntries int
-	// Dir, when non-empty, enables the on-disk tier rooted there. The
-	// directory is created if missing.
+	// Dir, when non-empty, adds a disk tier rooted there.
 	Dir string
+	// Peer, when non-empty, adds a remote tier backed by the daosd at
+	// that address (host:port or an http:// URL). The remote tier sits
+	// below disk, so a point found on the peer hydrates both local tiers.
+	Peer string
+	// PeerOptions tunes the remote tier; zero values take defaults.
+	PeerOptions RemoteOptions
+	// Tiers appends extra lower tiers below the built-in ones, in order.
+	// They are treated as local (GetLocal and PutLocal reach them).
+	Tiers []Tier
 }
 
-// Stats are the cache's monotonic counters. Lookup outcomes partition into
-// Hits (MemHits + DiskHits) and Misses.
+// Stats is a point-in-time snapshot of cache effectiveness.
 type Stats struct {
-	Hits      int64 // lookups served from either tier
-	MemHits   int64 // hits served by the in-memory LRU
-	DiskHits  int64 // hits served by the disk tier (then hydrated into memory)
-	Misses    int64 // lookups that found nothing usable
-	Stores    int64 // entries written via Put
-	Evictions int64 // memory-tier LRU evictions (disk files are kept)
-	Corrupt   int64 // disk entries dropped as unreadable or checksum-failed
-	DiskErrs  int64 // best-effort disk writes that failed
+	Hits        int64 // lookups answered by any tier
+	MemHits     int64 // ... answered by the memory tier
+	DiskHits    int64 // ... answered by the disk tier
+	RemoteHits  int64 // ... answered by the remote peer
+	Misses      int64 // lookups no tier could answer
+	Stores      int64 // entries written
+	Evictions   int64 // memory-tier LRU evictions
+	Corrupt     int64 // undecodable entries (each counted once, then quarantined)
+	DiskErrs    int64 // disk tier load/store failures
+	RemoteErrs  int64 // remote tier failed exchanges (severed reads, refused puts)
+	RemoteDowns int64 // remote peer up->down transitions
 }
 
 // Lookups returns the total number of Get calls observed.
 func (s Stats) Lookups() int64 { return s.Hits + s.Misses }
 
-// HitRate returns hits/lookups in [0,1], or 0 before any lookup.
+// HitRate returns the fraction of lookups served from cache, or 0 when no
+// lookups have happened.
 func (s Stats) HitRate() float64 {
-	if s.Lookups() == 0 {
-		return 0
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
 	}
-	return float64(s.Hits) / float64(s.Lookups())
+	return 0
 }
 
-// String renders the counters on one line, e.g.
-//
-//	cache: 16 lookups, 16 hits, 0 misses (100.0% hits), 14 memory + 2 disk, 16 stores, 0 evictions, 0 corrupt
-//
-// Disk write failures are appended only when present — an unwritable tier
-// must be visible here, or the user discovers it as an inexplicably cold
-// rerun.
+// String renders the stats as a one-line human summary.
 func (s Stats) String() string {
-	out := fmt.Sprintf("cache: %d lookups, %d hits, %d misses (%.1f%% hits), %d memory + %d disk, %d stores, %d evictions, %d corrupt",
-		s.Lookups(), s.Hits, s.Misses, 100*s.HitRate(), s.MemHits, s.DiskHits, s.Stores, s.Evictions, s.Corrupt)
+	out := fmt.Sprintf("cache: %d lookups, %d hits, %d misses (%.1f%% hits), %d memory + %d disk",
+		s.Lookups(), s.Hits, s.Misses, 100*s.HitRate(), s.MemHits, s.DiskHits)
+	if s.RemoteHits > 0 || s.RemoteErrs > 0 || s.RemoteDowns > 0 {
+		out += fmt.Sprintf(" + %d remote", s.RemoteHits)
+	}
+	out += fmt.Sprintf(", %d stores, %d evictions, %d corrupt", s.Stores, s.Evictions, s.Corrupt)
 	if s.DiskErrs > 0 {
 		out += fmt.Sprintf(", %d disk write errors", s.DiskErrs)
+	}
+	if s.RemoteErrs > 0 || s.RemoteDowns > 0 {
+		out += fmt.Sprintf(", %d remote errors (%d down-markings)", s.RemoteErrs, s.RemoteDowns)
 	}
 	return out
 }
 
-// node is one memory-tier slot; list elements hold *node.
-type node struct {
-	k Key
-	e Entry
-}
-
-// Cache is a two-tier content-addressed store. It is safe for concurrent
-// use by the Runner's worker pool.
+// Cache is a concurrency-safe tiered point cache: an in-memory LRU over
+// zero or more lower tiers (disk, remote peer). The zero value is not
+// usable; call New.
 type Cache struct {
-	mu    sync.Mutex
-	max   int
-	dir   string
-	lru   *list.List            // front = most recently used
-	index map[Key]*list.Element // key -> lru element
+	mem    *memTier
+	tiers  []Tier // lower tiers, in lookup order
+	remote *remoteTier
+	dir    string
+
+	mu    sync.Mutex // guards stats; tiers carry their own locks
 	stats Stats
 }
 
-// New creates a cache. It returns an error only when the disk tier is
-// requested and its directory cannot be created.
+// New builds a Cache from o.
 func New(o Options) (*Cache, error) {
 	if o.MaxEntries <= 0 {
 		o.MaxEntries = 4096
 	}
+	c := &Cache{mem: newMemTier(o.MaxEntries), dir: o.Dir}
 	if o.Dir != "" {
-		if err := os.MkdirAll(o.Dir, 0o755); err != nil {
-			return nil, fmt.Errorf("cache: disk tier: %w", err)
+		d, err := NewDiskTier(o.Dir)
+		if err != nil {
+			return nil, err
 		}
+		c.tiers = append(c.tiers, d)
 	}
-	return &Cache{
-		max:   o.MaxEntries,
-		dir:   o.Dir,
-		lru:   list.New(),
-		index: make(map[Key]*list.Element),
-	}, nil
+	if o.Peer != "" {
+		r := NewRemoteTier(o.Peer, o.PeerOptions)
+		c.remote = r.(*remoteTier)
+		c.tiers = append(c.tiers, r)
+	}
+	c.tiers = append(c.tiers, o.Tiers...)
+	return c, nil
 }
 
-// Get returns the entry for k, consulting the memory tier and then the disk
-// tier. A disk hit hydrates the memory tier.
-func (c *Cache) Get(k Key) (Entry, bool) {
-	c.mu.Lock()
-	if el, ok := c.index[k]; ok {
-		c.lru.MoveToFront(el)
-		c.stats.Hits++
-		c.stats.MemHits++
-		e := el.Value.(*node).e
-		c.mu.Unlock()
+// Get returns the cached entry for k, consulting every tier in order and
+// hydrating the tiers above a hit.
+func (c *Cache) Get(k Key) (Entry, bool) { return c.lookup(k, true) }
+
+// GetLocal is Get restricted to local tiers (memory, disk). It is what a
+// daosd's own /v1/cache endpoints serve from, so a fleet of peers pointed
+// at each other can never turn one lookup into a forwarding loop.
+func (c *Cache) GetLocal(k Key) (Entry, bool) { return c.lookup(k, false) }
+
+func (c *Cache) lookup(k Key, network bool) (Entry, bool) {
+	if e, r := c.mem.Load(k); r == LoadHit {
+		c.count(func(s *Stats) { s.Hits++; s.MemHits++ })
 		return e, true
 	}
-	c.mu.Unlock()
-
-	// The disk read runs outside the lock so parallel workers do not
-	// serialize on I/O; insert below is idempotent if two workers race on
-	// the same key.
-	if c.dir != "" {
-		e, ok, corrupt := c.load(k)
-		if ok {
-			c.mu.Lock()
-			c.insert(k, e)
-			c.stats.Hits++
-			c.stats.DiskHits++
-			c.mu.Unlock()
-			return e, true
+	for i, t := range c.tiers {
+		if !network && isNetwork(t) {
+			continue
 		}
-		if corrupt {
-			c.mu.Lock()
-			c.stats.Corrupt++
-			c.mu.Unlock()
+		e, r := t.Load(k)
+		switch r {
+		case LoadHit:
+			c.mem.Store(k, e)
+			// Hydrate the tiers this one sits below, so the next process
+			// (or the next restart) finds the entry closer to home.
+			for _, up := range c.tiers[:i] {
+				if !network && isNetwork(up) {
+					continue
+				}
+				c.storeTier(up, k, e)
+			}
+			c.count(func(s *Stats) {
+				s.Hits++
+				if isNetwork(t) {
+					s.RemoteHits++
+				} else {
+					s.DiskHits++
+				}
+			})
+			return e, true
+		case LoadCorrupt:
+			c.count(func(s *Stats) { s.Corrupt++ })
+		case LoadUnavailable:
+			c.count(func(s *Stats) {
+				if isNetwork(t) {
+					s.RemoteErrs++
+				} else {
+					s.DiskErrs++
+				}
+			})
 		}
 	}
-
-	c.mu.Lock()
-	c.stats.Misses++
-	c.mu.Unlock()
+	c.count(func(s *Stats) { s.Misses++ })
 	return Entry{}, false
 }
 
-// Put stores the entry for k in the memory tier and, best-effort, the disk
-// tier. Disk write failures are counted, never surfaced: the cache is an
-// accelerator, not a system of record.
-func (c *Cache) Put(k Key, e Entry) {
-	c.mu.Lock()
-	c.insert(k, e)
-	c.stats.Stores++
-	c.mu.Unlock()
-	if c.dir != "" {
-		if err := c.store(k, e); err != nil {
-			c.mu.Lock()
-			c.stats.DiskErrs++
-			c.mu.Unlock()
+// Put stores e under k, writing through every tier.
+func (c *Cache) Put(k Key, e Entry) { c.store(k, e, true) }
+
+// PutLocal is Put restricted to local tiers — the write path of a daosd's
+// /v1/cache PUT endpoint (see GetLocal).
+func (c *Cache) PutLocal(k Key, e Entry) { c.store(k, e, false) }
+
+func (c *Cache) store(k Key, e Entry, network bool) {
+	c.mem.Store(k, e)
+	c.count(func(s *Stats) { s.Stores++ })
+	for _, t := range c.tiers {
+		if !network && isNetwork(t) {
+			continue
 		}
+		c.storeTier(t, k, e)
 	}
 }
 
-// Stats returns a snapshot of the counters.
+// storeTier writes to one lower tier, counting (never surfacing) failure.
+func (c *Cache) storeTier(t Tier, k Key, e Entry) {
+	if err := t.Store(k, e); err != nil {
+		c.count(func(s *Stats) {
+			if isNetwork(t) {
+				s.RemoteErrs++
+			} else {
+				s.DiskErrs++
+			}
+		})
+	}
+}
+
+func (c *Cache) count(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
-}
-
-// Len returns the number of entries in the memory tier.
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
-}
-
-// insert adds or refreshes k in the memory tier and evicts past the bound.
-// Callers hold c.mu.
-func (c *Cache) insert(k Key, e Entry) {
-	if el, ok := c.index[k]; ok {
-		el.Value.(*node).e = e
-		c.lru.MoveToFront(el)
-		return
+	s := c.stats
+	c.mu.Unlock()
+	s.Evictions = c.mem.evicted()
+	if c.remote != nil {
+		s.RemoteDowns = c.remote.downCount()
 	}
-	c.index[k] = c.lru.PushFront(&node{k: k, e: e})
-	for c.lru.Len() > c.max {
-		back := c.lru.Back()
-		c.lru.Remove(back)
-		delete(c.index, back.Value.(*node).k)
-		c.stats.Evictions++
-	}
+	return s
 }
 
-// Disk-tier entry layout: an 8-byte magic, the payload fields in
-// little-endian bits, and a CRC-32 of the payload. Anything that does not
-// parse exactly is treated as absent.
-//
-// The current format ("daoscch2") stores five payload fields: the two
-// bandwidths, the two degraded-window float64s, and the map-transition
-// count. Records written by the previous format ("daoscch1", bandwidths
-// only) still load, with zero degraded fields — which is exact, because
-// every point cached under that format necessarily ran without a fault
-// plan (fault-plan points key into a different address space entirely).
-const (
-	diskMagic     = "daoscch2"
-	diskPayload   = 5 * 8
-	diskSize      = len(diskMagic) + diskPayload + 4
-	diskMagicV1   = "daoscch1"
-	diskPayloadV1 = 2 * 8
-	diskSizeV1    = len(diskMagicV1) + diskPayloadV1 + 4
-)
+// Len returns the number of entries resident in the memory tier.
+func (c *Cache) Len() int { return c.mem.len() }
 
-// path returns the disk file for k.
+// path returns the disk-tier file for k (used by tests to corrupt and
+// inspect entries on disk).
 func (c *Cache) path(k Key) string {
 	return filepath.Join(c.dir, k.String()+".pt")
-}
-
-// load reads k from the disk tier. corrupt reports a file that existed but
-// did not decode.
-func (c *Cache) load(k Key) (e Entry, ok, corrupt bool) {
-	buf, err := os.ReadFile(c.path(k))
-	if err != nil {
-		// Missing is the common cold-cache case; any other read error is
-		// equally just a miss (corruption-tolerance is the contract).
-		return Entry{}, false, !os.IsNotExist(err)
-	}
-	switch {
-	case len(buf) == diskSize && string(buf[:len(diskMagic)]) == diskMagic:
-		payload := buf[len(diskMagic) : len(diskMagic)+diskPayload]
-		sum := binary.LittleEndian.Uint32(buf[len(diskMagic)+diskPayload:])
-		if crc32.ChecksumIEEE(payload) != sum {
-			return Entry{}, false, true
-		}
-		e.WriteGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[0:]))
-		e.ReadGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[8:]))
-		e.DegradedGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[16:]))
-		e.RecoverySec = math.Float64frombits(binary.LittleEndian.Uint64(payload[24:]))
-		e.MapTransitions = int64(binary.LittleEndian.Uint64(payload[32:]))
-		return e, true, false
-	case len(buf) == diskSizeV1 && string(buf[:len(diskMagicV1)]) == diskMagicV1:
-		// Legacy record: bandwidths only, degraded fields implicitly zero.
-		payload := buf[len(diskMagicV1) : len(diskMagicV1)+diskPayloadV1]
-		sum := binary.LittleEndian.Uint32(buf[len(diskMagicV1)+diskPayloadV1:])
-		if crc32.ChecksumIEEE(payload) != sum {
-			return Entry{}, false, true
-		}
-		e.WriteGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[0:]))
-		e.ReadGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[8:]))
-		return e, true, false
-	default:
-		return Entry{}, false, true
-	}
-}
-
-// store writes k to the disk tier atomically (temp file + rename), so a
-// crashed or concurrent writer can never leave a torn entry at the final
-// path.
-func (c *Cache) store(k Key, e Entry) error {
-	buf := make([]byte, diskSize)
-	copy(buf, diskMagic)
-	binary.LittleEndian.PutUint64(buf[len(diskMagic):], math.Float64bits(e.WriteGiBs))
-	binary.LittleEndian.PutUint64(buf[len(diskMagic)+8:], math.Float64bits(e.ReadGiBs))
-	binary.LittleEndian.PutUint64(buf[len(diskMagic)+16:], math.Float64bits(e.DegradedGiBs))
-	binary.LittleEndian.PutUint64(buf[len(diskMagic)+24:], math.Float64bits(e.RecoverySec))
-	binary.LittleEndian.PutUint64(buf[len(diskMagic)+32:], uint64(e.MapTransitions))
-	binary.LittleEndian.PutUint32(buf[len(diskMagic)+diskPayload:], crc32.ChecksumIEEE(buf[len(diskMagic):len(diskMagic)+diskPayload]))
-
-	tmp, err := os.CreateTemp(c.dir, "tmp-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), c.path(k)); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
 }

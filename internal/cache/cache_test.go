@@ -137,8 +137,9 @@ func TestEvictedEntrySurvivesOnDisk(t *testing.T) {
 }
 
 // TestCorruptEntriesAreMisses is the corruption-tolerance contract: a bad
-// disk entry of any shape is a miss, never an error, and a subsequent Put
-// repairs it.
+// disk entry of any shape is a miss, never an error, it is quarantined on
+// first detection so Stats.Corrupt counts distinct corruption events
+// rather than one bad file forever, and a subsequent Put repairs it.
 func TestCorruptEntriesAreMisses(t *testing.T) {
 	cases := []struct {
 		name    string
@@ -173,6 +174,18 @@ func TestCorruptEntriesAreMisses(t *testing.T) {
 			st := c.Stats()
 			if st.Misses != 1 || st.Corrupt != 1 {
 				t.Fatalf("stats = %+v", st)
+			}
+			// The bad file is quarantined on first detection, so looking
+			// the key up again is a plain miss — the corrupt counter must
+			// not grow on re-lookup of the same event.
+			if _, err := os.Stat(c.path(k)); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry not quarantined: %v", err)
+			}
+			if _, ok := c.Get(k); ok {
+				t.Fatal("quarantined entry served as a hit")
+			}
+			if st := c.Stats(); st.Misses != 2 || st.Corrupt != 1 {
+				t.Fatalf("stats after re-lookup = %+v", st)
 			}
 			// The store path must repair the slot.
 			want := Entry{WriteGiBs: 5}

@@ -1,0 +1,150 @@
+package cache
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Entry record layout: an 8-byte magic, the payload fields in little-endian
+// bits, and a CRC-32 of the payload. Anything that does not parse exactly
+// is ErrCorruptEntry. The encoding serves two transports with one format:
+// the disk tier's per-key files, and the HTTP body of the remote tier's
+// GET/PUT /v1/cache/{key} exchanges — the checksum rides along in both, so
+// a torn disk write and a truncated network body are rejected identically.
+//
+// The current format ("daoscch2") stores five payload fields: the two
+// bandwidths, the two degraded-window float64s, and the map-transition
+// count. Records written by the previous format ("daoscch1", bandwidths
+// only) still load, with zero degraded fields — which is exact, because
+// every point cached under that format necessarily ran without a fault
+// plan (fault-plan points key into a different address space entirely).
+const (
+	diskMagic     = "daoscch2"
+	diskPayload   = 5 * 8
+	diskSize      = len(diskMagic) + diskPayload + 4
+	diskMagicV1   = "daoscch1"
+	diskPayloadV1 = 2 * 8
+	diskSizeV1    = len(diskMagicV1) + diskPayloadV1 + 4
+)
+
+// ErrCorruptEntry reports a record that was present but did not decode:
+// wrong magic, wrong size, or checksum failure.
+var ErrCorruptEntry = errors.New("cache: undecodable entry record")
+
+// EncodeEntry renders e in the checksummed record format shared by the
+// disk tier's files and the remote tier's HTTP bodies.
+func EncodeEntry(e Entry) []byte {
+	buf := make([]byte, diskSize)
+	copy(buf, diskMagic)
+	binary.LittleEndian.PutUint64(buf[len(diskMagic):], math.Float64bits(e.WriteGiBs))
+	binary.LittleEndian.PutUint64(buf[len(diskMagic)+8:], math.Float64bits(e.ReadGiBs))
+	binary.LittleEndian.PutUint64(buf[len(diskMagic)+16:], math.Float64bits(e.DegradedGiBs))
+	binary.LittleEndian.PutUint64(buf[len(diskMagic)+24:], math.Float64bits(e.RecoverySec))
+	binary.LittleEndian.PutUint64(buf[len(diskMagic)+32:], uint64(e.MapTransitions))
+	binary.LittleEndian.PutUint32(buf[len(diskMagic)+diskPayload:], crc32.ChecksumIEEE(buf[len(diskMagic):len(diskMagic)+diskPayload]))
+	return buf
+}
+
+// DecodeEntry parses a record produced by EncodeEntry (or by the legacy
+// "daoscch1" format). Any record that is truncated, oversized, mis-tagged,
+// or checksum-failed returns ErrCorruptEntry.
+func DecodeEntry(buf []byte) (Entry, error) {
+	var e Entry
+	switch {
+	case len(buf) == diskSize && string(buf[:len(diskMagic)]) == diskMagic:
+		payload := buf[len(diskMagic) : len(diskMagic)+diskPayload]
+		sum := binary.LittleEndian.Uint32(buf[len(diskMagic)+diskPayload:])
+		if crc32.ChecksumIEEE(payload) != sum {
+			return Entry{}, ErrCorruptEntry
+		}
+		e.WriteGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[0:]))
+		e.ReadGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[8:]))
+		e.DegradedGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[16:]))
+		e.RecoverySec = math.Float64frombits(binary.LittleEndian.Uint64(payload[24:]))
+		e.MapTransitions = int64(binary.LittleEndian.Uint64(payload[32:]))
+		return e, nil
+	case len(buf) == diskSizeV1 && string(buf[:len(diskMagicV1)]) == diskMagicV1:
+		// Legacy record: bandwidths only, degraded fields implicitly zero.
+		payload := buf[len(diskMagicV1) : len(diskMagicV1)+diskPayloadV1]
+		sum := binary.LittleEndian.Uint32(buf[len(diskMagicV1)+diskPayloadV1:])
+		if crc32.ChecksumIEEE(payload) != sum {
+			return Entry{}, ErrCorruptEntry
+		}
+		e.WriteGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[0:]))
+		e.ReadGiBs = math.Float64frombits(binary.LittleEndian.Uint64(payload[8:]))
+		return e, nil
+	default:
+		return Entry{}, ErrCorruptEntry
+	}
+}
+
+// diskTier persists entries as one small checksummed file per key.
+type diskTier struct {
+	dir string
+}
+
+// NewDiskTier opens the on-disk tier rooted at dir, creating the directory
+// if missing.
+func NewDiskTier(dir string) (Tier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: disk tier: %w", err)
+	}
+	return &diskTier{dir: dir}, nil
+}
+
+func (d *diskTier) Name() string { return "disk" }
+
+// path returns the file for k.
+func (d *diskTier) path(k Key) string {
+	return filepath.Join(d.dir, k.String()+".pt")
+}
+
+// Load reads k. A file that exists but does not decode is quarantined —
+// removed on first detection — so Stats.Corrupt counts distinct corruption
+// events rather than re-counting one bad file on every lookup, and the
+// slot reads as a plain miss until the next store repairs it. Read errors
+// other than absence are LoadUnavailable (the file is left in place: an
+// unreadable file is not evidence of a bad record).
+func (d *diskTier) Load(k Key) (Entry, LoadResult) {
+	buf, err := os.ReadFile(d.path(k))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Entry{}, LoadMiss
+		}
+		return Entry{}, LoadUnavailable
+	}
+	e, err := DecodeEntry(buf)
+	if err != nil {
+		os.Remove(d.path(k)) // best-effort quarantine
+		return Entry{}, LoadCorrupt
+	}
+	return e, LoadHit
+}
+
+// Store writes k atomically (temp file + rename), so a crashed or
+// concurrent writer can never leave a torn entry at the final path.
+func (d *diskTier) Store(k Key, e Entry) error {
+	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(EncodeEntry(e)); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), d.path(k)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

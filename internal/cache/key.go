@@ -3,6 +3,7 @@ package cache
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"hash"
 	"math"
 	"time"
@@ -12,8 +13,22 @@ import (
 // with a Hasher.
 type Key [sha256.Size]byte
 
-// String returns the key as lowercase hex (also the disk-tier file stem).
+// String returns the key as lowercase hex (also the disk-tier file stem
+// and the {key} path element of the remote tier's /v1/cache URLs).
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey inverts Key.String: it decodes a 64-character hex digest back
+// into a Key, rejecting anything of the wrong length or alphabet.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	if len(s) != hex.EncodedLen(len(k)) {
+		return Key{}, fmt.Errorf("cache: key %q: want %d hex characters", s, hex.EncodedLen(len(k)))
+	}
+	if _, err := hex.Decode(k[:], []byte(s)); err != nil {
+		return Key{}, fmt.Errorf("cache: key %q: %v", s, err)
+	}
+	return k, nil
+}
 
 // Hasher builds a Key from a sequence of typed fields. Every numeric field
 // is written as fixed-width little-endian bytes and every string is

@@ -21,28 +21,36 @@ func FlagPassed(name string) bool {
 	return set
 }
 
-// Open builds the cache described by a command's -cache / -cache-dir flags,
-// with one policy shared by every CLI: nil when caching is off, a
-// disk-backed cache at dir (an explicitly passed -cache-dir implies
-// -cache) or the default ~/.daosim/cache, and a memory-only cache when
-// -cache-dir is explicitly empty. dirSet reports whether -cache-dir
-// appeared on the command line. When the default tier is wanted but the
-// home directory cannot be resolved, Open returns an error rather than
-// silently degrading a requested persistent cache to a process-lifetime
-// one.
-func Open(enabled, dirSet bool, dir string) (*Cache, error) {
+// Open builds the cache described by a command's -cache / -cache-dir /
+// -cache-peer flags, with one policy shared by every CLI: nil when caching
+// is off, a disk-backed cache at dir (an explicitly passed -cache-dir
+// implies -cache) or the default ~/.daosim/cache, and a memory-only cache
+// when -cache-dir is explicitly empty. dirSet reports whether -cache-dir
+// appeared on the command line. peer, when non-empty, adds a remote tier
+// backed by the daosd at that address — and by itself turns caching on
+// without a disk tier, which is the cache-less-coordinator shape: every
+// point the fleet completes is looked up on, and written back to, the
+// peer, with only the memory LRU in front. When the default disk tier is
+// wanted but the home directory cannot be resolved, Open returns an error
+// rather than silently degrading a requested persistent cache to a
+// process-lifetime one.
+func Open(enabled, dirSet bool, dir, peer string) (*Cache, error) {
 	if dirSet && dir != "" {
 		enabled = true
 	}
-	if !enabled {
+	if !enabled && peer == "" {
 		return nil, nil
 	}
-	if !dirSet {
-		home, err := os.UserHomeDir()
-		if err != nil {
-			return nil, fmt.Errorf("cache: cannot resolve the default ~/.daosim/cache tier (%v); pass -cache-dir", err)
+	o := Options{Peer: peer}
+	if enabled {
+		if !dirSet {
+			home, err := os.UserHomeDir()
+			if err != nil {
+				return nil, fmt.Errorf("cache: cannot resolve the default ~/.daosim/cache tier (%v); pass -cache-dir", err)
+			}
+			dir = filepath.Join(home, ".daosim", "cache")
 		}
-		dir = filepath.Join(home, ".daosim", "cache")
+		o.Dir = dir
 	}
-	return New(Options{Dir: dir})
+	return New(o)
 }

@@ -86,6 +86,9 @@ type Ledger struct {
 	CacheHits    int
 	CacheMisses  int
 	Errors       int
+	// Coalesced counts points answered by replaying an identical in-flight
+	// point's result (single-flight dedup) instead of executing.
+	Coalesced int
 	// Retries counts jobs the server re-dispatched after losing a worker
 	// mid-point — the fleet's robustness at work, visible per batch.
 	Retries int
@@ -107,6 +110,9 @@ func (l Ledger) String() string {
 		}
 		s = fmt.Sprintf("server cache: %d lookups, %d hits, %d misses (%.1f%% hits), %d points over %d requests",
 			lookups, l.CacheHits, l.CacheMisses, rate, l.Points, l.Requests)
+	}
+	if l.Coalesced > 0 {
+		s += fmt.Sprintf("; %d point(s) coalesced in flight", l.Coalesced)
 	}
 	if l.Retries > 0 {
 		s += fmt.Sprintf("; fleet retried %d job(s)", l.Retries)
@@ -269,6 +275,7 @@ func (c *Client) Submit(ctx context.Context, cfgs []core.Config) ([]*core.Study,
 	c.ledger.CacheHits += t.CacheHits
 	c.ledger.CacheMisses += t.CacheMisses
 	c.ledger.Errors += t.Errors
+	c.ledger.Coalesced += t.Coalesced
 	c.ledger.Retries += t.Retries
 	c.mu.Unlock()
 

@@ -319,3 +319,112 @@ func TestE2EFleetWorkerLossMidSweep(t *testing.T) {
 		t.Fatal("readmitted worker received no point jobs in the next sweep")
 	}
 }
+
+// TestE2ESharedCacheTierFleet is the shared-tier acceptance test: a fleet
+// whose coordinators own no disk cache at all, only a remote tier mounted
+// from a peer daosd. The cold coordinator simulates the grid on its two
+// workers and pushes every completed point to the peer; a second, fresh
+// coordinator pointed at the same peer then reruns the grid without a
+// single simulation anywhere in the fleet — a 100%-remote-hit warm run,
+// byte-identical to the direct in-process run. Each unique point is
+// simulated exactly once globally.
+func TestE2ESharedCacheTierFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-simulation fleet e2e; the -race -short job covers the shared tier via the stub tests in cachetier_test.go")
+	}
+	cfgs := quickFigureConfigs(t)
+	direct, err := (&core.Runner{}).RunAll(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(direct)
+	points := 0
+	for _, st := range direct {
+		points += len(st.Series) * len(st.Config.Nodes)
+	}
+
+	// The shared tier: one daosd with a disk cache, serving /v1/cache.
+	peerCache, err := cache.New(cache.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, peerTS := startServer(t, Config{Workers: 1, Cache: peerCache})
+
+	// Two execution workers and a factory for cache-less coordinators that
+	// mount the peer as their only lower tier.
+	w1srv, w1 := startServer(t, Config{Workers: 1})
+	w2srv, w2 := startServer(t, Config{Workers: 1})
+	newCoordinator := func() (*cache.Cache, *Server, *httptest.Server) {
+		c, err := cache.New(cache.Options{Peer: peerTS.URL})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord, cts := startServer(t, Config{Remotes: []string{w1.URL, w2.URL}, Cache: c})
+		return c, coord, cts
+	}
+
+	c1, coord1, cts1 := newCoordinator()
+	cold := NewClient(cts1.URL)
+	coldStudies, err := cold.Submit(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(coldStudies); got != want {
+		t.Fatalf("cold shared-tier run diverged from direct run:\n--- direct ---\n%s--- fleet ---\n%s", want, got)
+	}
+	if l := cold.Ledger(); l.CacheMisses != points || l.CacheHits != 0 {
+		t.Fatalf("cold ledger: want %d misses, 0 hits; got %+v", points, l)
+	}
+	// Every completed point was pushed to the shared tier, best-effort but
+	// losslessly on a healthy peer.
+	if st := peerCache.Stats(); st.Stores != int64(points) {
+		t.Fatalf("shared tier absorbed %d stores, want %d: %+v", st.Stores, points, st)
+	}
+	if st := c1.Stats(); st.RemoteErrs != 0 || st.RemoteDowns != 0 {
+		t.Fatalf("healthy peer accumulated remote errors on the cold run: %+v", st)
+	}
+	executed := int64(0)
+	for _, m := range coord1.Fleet() {
+		executed += m.Points
+	}
+	if executed != int64(points) {
+		t.Fatalf("cold run executed %d points on the fleet, want %d", executed, points)
+	}
+
+	// A fresh coordinator shares nothing with the first but the peer. Its
+	// "warm" rerun must be served entirely by the shared tier: 100% hits
+	// on the ledger, all of them remote, zero fleet executions.
+	c2, coord2, cts2 := newCoordinator()
+	warm := NewClient(cts2.URL)
+	warmStudies, err := warm.Submit(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(warmStudies); got != want {
+		t.Fatalf("warm shared-tier run diverged from direct run:\n--- direct ---\n%s--- fleet ---\n%s", want, got)
+	}
+	if l := warm.Ledger(); l.CacheHits != points || l.CacheMisses != 0 {
+		t.Fatalf("warm ledger: want %d hits, 0 misses; got %+v", points, l)
+	}
+	if !strings.Contains(warm.Ledger().String(), "(100.0% hits)") {
+		t.Fatalf("warm ledger lost the CI hit marker: %s", warm.Ledger())
+	}
+	if st := c2.Stats(); st.RemoteHits != int64(points) || st.Misses != 0 {
+		t.Fatalf("warm run not served by the remote tier: %+v", st)
+	}
+	for _, m := range coord2.Fleet() {
+		if m.Points != 0 {
+			t.Fatalf("warm coordinator executed %d points on %s; the shared tier should have served everything", m.Points, m.Name)
+		}
+	}
+	// Exactly-once globally: across both runs the whole fleet executed
+	// each unique point once — the workers' combined tally never grew
+	// past the grid size.
+	total := int64(0)
+	for _, m := range append(w1srv.Fleet(), w2srv.Fleet()...) {
+		total += m.Points
+	}
+	if total != int64(points) {
+		t.Fatalf("fleet executed %d points across both runs, want exactly %d", total, points)
+	}
+}

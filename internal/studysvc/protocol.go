@@ -104,6 +104,11 @@ type StreamPoint struct {
 	// CacheHit marks a point served from the server's cache without
 	// simulating.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// Coalesced marks a point that was not executed for this slot: an
+	// identical point was already in flight (a duplicate within the batch,
+	// or a concurrent submission's), and the single-flight leader's result
+	// was replayed here.
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // Trailer is the last stream line: the batch ledger. Its presence is the
@@ -120,6 +125,11 @@ type Trailer struct {
 	CacheMisses int `json:"cache_misses"`
 	// Errors counts points that completed with a failure recorded.
 	Errors int `json:"errors"`
+	// Coalesced counts points of this batch that were answered by
+	// replaying a single-flight leader's result instead of executing
+	// (they are also counted in CacheHits or CacheMisses, matching how
+	// the leader resolved).
+	Coalesced int `json:"coalesced,omitempty"`
 	// Retries counts jobs of this batch that were re-dispatched to another
 	// worker after the one executing them failed (remote death, timeout,
 	// truncated stream). Zero on a healthy fleet and on a purely local

@@ -45,7 +45,7 @@
 // surface in the stream trailer; cumulative per-member state in
 // /v1/statsz.
 //
-// # Caching
+// # Caching and single-flight
 //
 // With a cache configured, the scheduler looks every job up by its
 // content address (core.PointJob.Key) before dispatch — hits stream back
@@ -55,12 +55,37 @@
 // hits. The cache may be disk-backed and shared with in-process runs: the
 // key scheme is identical — and because a fleet worker is itself a daosd,
 // each peer's own cache dedups the points it executes with the same keys.
+//
+// The cache alone cannot dedup points that are concurrently in flight: two
+// submissions of the same uncached key would both miss and both simulate.
+// So the scheduler adds single-flight, keyed on the same content address.
+// The first looker-up of a key becomes its flight's leader and proceeds
+// through cache lookup and dispatch; every later task with that key —
+// a duplicate inside one batch (pre-dedup node lists like -nodes 8,8) or
+// an overlapping concurrent submission — parks as a waiter and has the
+// leader's result replayed to it, marked coalesced in the stream. If the
+// leader's submission is canceled mid-flight, the next waiter with a live
+// context is promoted to leader and the point still executes exactly once.
+// Single-flight is part of the cache contract and engages only when a
+// cache is configured.
+//
+// # The shared cache tier
+//
+// A daosd also serves its cache over GET/PUT /v1/cache/{key} (the cache
+// package's TierPathPrefix), answering from its local tiers only. Any
+// daosim process started with -cache-peer mounts those endpoints as a
+// remote cache tier below its own memory and disk tiers, which makes point
+// dedup fleet-global: every peer pointed at the same daosd shares one pool
+// of completed points, keyed identically on every machine. The endpoints
+// serve local tiers exclusively, so peers pointing at each other can never
+// turn one lookup into a forwarding loop.
 package studysvc
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -106,9 +131,16 @@ type Config struct {
 type task struct {
 	ctx      context.Context
 	job      core.PointJob
+	key      cache.Key          // content address (set whenever a cache is configured)
 	attempts int                // dispatches so far (0 until first failure)
 	retries  *atomic.Int64      // the submission's retry counter (trailer)
 	out      chan<- StreamPoint // buffered to the batch size; sends never block
+}
+
+// flight is one in-flight point key: the leader task is dispatched, every
+// later task of the same key parks here until the leader's result lands.
+type flight struct {
+	waiters []task
 }
 
 // Server schedules study submissions over a bounded worker pool. It is an
@@ -127,6 +159,11 @@ type Server struct {
 	// probeTimeout and stalling the drain.
 	probeCtx    context.Context
 	probeCancel context.CancelFunc
+
+	// flights is the single-flight table: one entry per point key currently
+	// between cache lookup and result delivery.
+	flightMu sync.Mutex
+	flights  map[cache.Key]*flight
 
 	draining  atomic.Bool
 	retries   atomic.Int64 // jobs re-dispatched after a worker failure
@@ -157,15 +194,30 @@ func New(cfg Config) *Server {
 		cfg.ProbeMax = 5 * time.Second
 	}
 	s := &Server{
-		cfg:   cfg,
-		cache: cfg.Cache,
-		queue: make(chan task),
-		quit:  make(chan struct{}),
-		mux:   http.NewServeMux(),
+		cfg:     cfg,
+		cache:   cfg.Cache,
+		queue:   make(chan task),
+		quit:    make(chan struct{}),
+		mux:     http.NewServeMux(),
+		flights: make(map[cache.Key]*flight),
 	}
 	s.probeCtx, s.probeCancel = context.WithCancel(context.Background())
+	// Member names must be unique: they key the /v1/statsz fleet entries
+	// and seed the probe jitter, so two members sharing a name would be
+	// indistinguishable in diagnostics (and probe in lockstep). A repeated
+	// name — the same peer URL listed twice to give it more slots, or
+	// duplicate Config.Members entries — gets an @n ordinal at pool build.
+	used := make(map[string]bool)
+	unique := func(name string) string {
+		base := name
+		for n := 2; used[name]; n++ {
+			name = fmt.Sprintf("%s@%d", base, n)
+		}
+		used[name] = true
+		return name
+	}
 	for i := 0; i < cfg.Workers; i++ {
-		s.members = append(s.members, &member{name: fmt.Sprintf("local/%d", i), w: cfg.NewWorker()})
+		s.members = append(s.members, &member{name: unique(fmt.Sprintf("local/%d", i)), w: cfg.NewWorker()})
 	}
 	for _, addr := range cfg.Remotes {
 		// One RemoteWorker (one transport) per peer, shared by its slots:
@@ -176,11 +228,11 @@ func New(cfg Config) *Server {
 			if cfg.RemoteSlots > 1 {
 				name = fmt.Sprintf("%s#%d", rw.Addr(), k)
 			}
-			s.members = append(s.members, &member{name: name, w: rw})
+			s.members = append(s.members, &member{name: unique(name), w: rw})
 		}
 	}
 	for _, m := range cfg.Members {
-		s.members = append(s.members, &member{name: m.Name, w: m.Worker})
+		s.members = append(s.members, &member{name: unique(m.Name), w: m.Worker})
 	}
 	for _, m := range s.members {
 		m.rng = probeRNG(m.name)
@@ -189,6 +241,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST "+PathSubmitPoints, s.handleSubmitPoints)
 	s.mux.HandleFunc("GET "+PathHealth, s.handleHealth)
 	s.mux.HandleFunc("GET "+PathStats, s.handleStats)
+	s.mux.HandleFunc("GET "+cache.TierPathPrefix+"{key}", s.handleCacheGet)
+	s.mux.HandleFunc("PUT "+cache.TierPathPrefix+"{key}", s.handleCachePut)
 	for _, m := range s.members {
 		s.wg.Add(1)
 		go s.memberLoop(m)
@@ -246,23 +300,33 @@ func (s *Server) memberLoop(m *member) {
 			return
 		case t := <-s.queue:
 			if t.ctx.Err() != nil {
-				t.out <- toWire(t.job, canceledPoint(t.job), false)
+				s.finishCanceled(t)
 				continue
 			}
 			pt, err := m.w.RunPoint(t.ctx, t.job)
 			if err == nil {
+				if t.ctx.Err() != nil && pt.Err != "" {
+					// The worker observed the submission's cancellation and
+					// returned a failed point instead of a result. That is
+					// this submission's loss only — a coalesced waiter from a
+					// live submission takes over the flight.
+					s.finishCanceled(t)
+					continue
+				}
 				m.points.Add(1)
 				if s.cache != nil && pt.Err == "" {
-					s.cache.Put(t.job.Key(), pt.CacheEntry())
+					// Put before finish: the instant the flight resolves, a
+					// fresh looker-up of this key must already find the entry.
+					s.cache.Put(t.key, pt.CacheEntry())
 				}
-				t.out <- toWire(t.job, pt, false)
+				s.finish(t, pt, false)
 				continue
 			}
 			if t.ctx.Err() != nil {
 				// The submission vanished while the point was in flight; a
 				// remote's transport error is then the cancellation echoed
 				// back, not evidence the worker is broken.
-				t.out <- toWire(t.job, canceledPoint(t.job), false)
+				s.finishCanceled(t)
 				continue
 			}
 			m.failures.Add(1)
@@ -284,7 +348,9 @@ func (s *Server) retry(t task, worker string, cause error) {
 		pt := canceledPoint(t.job)
 		pt.Err = fmt.Sprintf("studysvc: point abandoned after %d attempts; last worker %s: %v",
 			t.attempts, worker, cause)
-		t.out <- toWire(t.job, pt, false)
+		// Abandonment resolves the flight too: the attempts were spent on
+		// behalf of every coalesced waiter, so all of them see the failure.
+		s.finish(t, pt, false)
 		return
 	}
 	s.retries.Add(1)
@@ -295,11 +361,112 @@ func (s *Server) retry(t task, worker string, cause error) {
 		select {
 		case s.queue <- t:
 		case <-t.ctx.Done():
-			t.out <- toWire(t.job, canceledPoint(t.job), false)
+			s.finishCanceled(t)
 		case <-s.quit:
 			pt := canceledPoint(t.job)
 			pt.Err = "studysvc: server draining; retried point abandoned"
-			t.out <- toWire(t.job, pt, false)
+			s.finish(t, pt, false)
+		}
+	}()
+}
+
+// lead registers t as the flight for its key. It returns true when t is
+// the leader — the caller must eventually resolve the flight through
+// finish or finishCanceled — and false when the key is already in flight:
+// t has been parked as a waiter and will have the leader's result replayed
+// to it.
+func (s *Server) lead(t task) bool {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	if f, ok := s.flights[t.key]; ok {
+		f.waiters = append(f.waiters, t)
+		return false
+	}
+	s.flights[t.key] = &flight{}
+	return true
+}
+
+// resolve removes k's flight and returns its parked waiters.
+func (s *Server) resolve(k cache.Key) []task {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	f, ok := s.flights[k]
+	if !ok {
+		return nil
+	}
+	delete(s.flights, k)
+	return f.waiters
+}
+
+// finish delivers pt to t's submission and replays it to every waiter that
+// coalesced onto t's flight.
+func (s *Server) finish(t task, pt core.Point, hit bool) {
+	t.out <- toWire(t.job, pt, hit)
+	for _, w := range s.resolve(t.key) {
+		sp := toWire(w.job, pt, hit)
+		sp.Coalesced = true
+		w.out <- sp
+	}
+}
+
+// finishCanceled reports t's cancellation to its own submission, then
+// hands t's flight to the next waiter whose submission is still alive —
+// the leader's death must not lose a point other submissions are waiting
+// on.
+func (s *Server) finishCanceled(t task) {
+	t.out <- toWire(t.job, canceledPoint(t.job), false)
+	s.promote(t.key)
+}
+
+// promote pops dead waiters off k's flight (delivering their
+// cancellations) until it finds one with a live context, which it requeues
+// as the flight's new leader. With no live waiter the flight is dissolved.
+func (s *Server) promote(k cache.Key) {
+	var dead []task
+	var next *task
+	s.flightMu.Lock()
+	if f, ok := s.flights[k]; ok {
+		for len(f.waiters) > 0 {
+			w := f.waiters[0]
+			f.waiters = f.waiters[1:]
+			if w.ctx.Err() == nil {
+				next = &w
+				break
+			}
+			dead = append(dead, w)
+		}
+		if next == nil {
+			delete(s.flights, k)
+		}
+	}
+	s.flightMu.Unlock()
+	for _, w := range dead {
+		w.out <- toWire(w.job, canceledPoint(w.job), false)
+	}
+	if next != nil {
+		s.requeue(*next)
+	}
+}
+
+// requeue dispatches a promoted waiter as its flight's new leader, on its
+// own goroutine because promotion happens on a pool member's loop (or an
+// enqueue goroutine) that must not block waiting for a free slot.
+func (s *Server) requeue(t task) {
+	go func() {
+		if s.cache != nil {
+			if e, ok := s.cache.Get(t.key); ok {
+				s.finish(t, t.job.FromEntry(e), true)
+				return
+			}
+		}
+		select {
+		case s.queue <- t:
+		case <-t.ctx.Done():
+			s.finishCanceled(t)
+		case <-s.quit:
+			pt := canceledPoint(t.job)
+			pt.Err = "studysvc: server draining; retried point abandoned"
+			s.finish(t, pt, false)
 		}
 	}()
 }
@@ -375,17 +542,43 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, jobs []core.Poin
 	var retried atomic.Int64
 	go func() {
 		for _, j := range jobs {
-			if s.cache != nil {
-				if e, ok := s.cache.Get(j.Key()); ok {
-					results <- toWire(j, j.FromEntry(e), true)
-					continue
+			t := task{ctx: ctx, job: j, retries: &retried, out: results}
+			if s.cache == nil {
+				// No cache, no dedup contract: every job dispatches.
+				select {
+				case s.queue <- t:
+				case <-ctx.Done():
+					return
+				case <-s.quit:
+					return
 				}
+				continue
+			}
+			t.key = j.Key()
+			if !s.lead(t) {
+				// The key is already in flight (a duplicate in this batch,
+				// or a concurrent submission's); the leader's result will
+				// be replayed here.
+				continue
+			}
+			// The leader holds the flight across the cache lookup, so
+			// concurrent lookers-up of one key cost one lookup — which for
+			// a remote tier means one network exchange, not a stampede.
+			if e, ok := s.cache.Get(t.key); ok {
+				s.finish(t, t.job.FromEntry(e), true)
+				continue
 			}
 			select {
-			case s.queue <- task{ctx: ctx, job: j, retries: &retried, out: results}:
+			case s.queue <- t:
 			case <-ctx.Done():
+				// This flight may have collected waiters from other live
+				// submissions; hand it to one of them rather than leaking it.
+				s.finishCanceled(t)
 				return
 			case <-s.quit:
+				pt := canceledPoint(t.job)
+				pt.Err = "studysvc: server draining; queued point abandoned"
+				s.finish(t, pt, false)
 				return
 			}
 		}
@@ -400,6 +593,9 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, jobs []core.Poin
 				t.CacheHits++
 			} else {
 				t.CacheMisses++
+			}
+			if sp.Coalesced {
+				t.Coalesced++
 			}
 			if sp.Err != "" {
 				t.Errors++
@@ -452,4 +648,67 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(reply)
+}
+
+// handleCacheGet serves one cache entry to a peer's remote tier: a 200
+// carrying the checksummed record for a hit, a 404 for a miss (or for a
+// server with no cache configured — a clean refusal the remote tier
+// surfaces as an error without marking the peer down). Only local tiers
+// are consulted (cache.GetLocal), so peers pointing at each other can
+// never chain lookups into a loop.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "studysvc: server draining", http.StatusServiceUnavailable)
+		return
+	}
+	if s.cache == nil {
+		http.Error(w, "studysvc: no cache tier", http.StatusNotFound)
+		return
+	}
+	k, err := cache.ParseKey(r.PathValue("key"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	e, ok := s.cache.GetLocal(k)
+	if !ok {
+		http.Error(w, "studysvc: no cache entry", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(cache.EncodeEntry(e))
+}
+
+// handleCachePut accepts one cache entry from a peer's remote tier. The
+// body is the same checksummed record the disk tier persists, so a
+// truncated or garbled upload is rejected (400) by the identical decode
+// path that rejects a torn disk file. Writes land in local tiers only
+// (cache.PutLocal); puts are best-effort on the sending side, so every
+// refusal here is just a counted miss over there.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "studysvc: server draining", http.StatusServiceUnavailable)
+		return
+	}
+	if s.cache == nil {
+		http.Error(w, "studysvc: no cache tier", http.StatusNotFound)
+		return
+	}
+	k, err := cache.ParseKey(r.PathValue("key"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	buf, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<10))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("studysvc: bad cache entry body: %v", err), http.StatusBadRequest)
+		return
+	}
+	e, err := cache.DecodeEntry(buf)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.cache.PutLocal(k, e)
+	w.WriteHeader(http.StatusNoContent)
 }
