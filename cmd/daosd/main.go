@@ -19,12 +19,21 @@
 //	daosd -parallel 8          # shard width: at most 8 concurrent points
 //	daosd -cache               # memoize points under ~/.daosim/cache
 //	daosd -cache-dir .c        # memoize points under ./.c (implies -cache)
+//	daosd -cache-max-bytes 64000000                # bound the disk tier to ~64 MB (LRU eviction)
 //	daosd -cache-peer http://h0:9464               # mount h0's cache as a shared remote tier
 //	daosd -workers http://h1:9464,http://h2:9464   # coordinate a fleet
 //	daosd -workers ... -parallel 2 -remote-slots 4 # plus 2 local slots, 4 in-flight points per peer
+//	daosd -store-dir .jobs     # journal submissions; crash recovery resumes them
 //
 // With -workers, -parallel counts *local* execution slots and defaults to
 // zero — a pure coordinator that simulates nothing itself.
+//
+// With -store-dir, every submission is journaled to a checksummed
+// append-only log before results are exposed. A daosd killed mid-sweep
+// and restarted on the same directory replays completed points from the
+// journal, re-enqueues only the incomplete remainder, and serves
+// reconnecting clients (which resume via GET /v1/studies/{batch}) a
+// byte-identical stream.
 //
 // Submit with cmd/studyctl, or point `figures -server addr` at it. On
 // SIGINT/SIGTERM the server drains in-flight points and reports its cache
@@ -46,6 +55,7 @@ import (
 	"time"
 
 	"daosim/internal/cache"
+	"daosim/internal/jobstore"
 	"daosim/internal/studysvc"
 )
 
@@ -57,13 +67,23 @@ func main() {
 		remoteSlots = flag.Int("remote-slots", 1, "point jobs kept in flight per remote worker")
 		cacheOn     = flag.Bool("cache", false, "memoize sweep points (disk tier under ~/.daosim/cache unless -cache-dir overrides)")
 		cacheDir    = flag.String("cache-dir", "", "on-disk cache tier directory (implies -cache; explicitly empty = memory-only)")
+		cacheMax    = flag.Int64("cache-max-bytes", 0, "disk cache tier byte budget; least-recently-used entries are evicted above it (0 = unbounded)")
 		cachePeer   = flag.String("cache-peer", "", "peer daosd URL whose cache joins the stack as a remote tier (enables caching)")
+		storeDir    = flag.String("store-dir", "", "journal submissions to this directory; a restarted daosd replays completed points and resumes the rest")
 	)
 	flag.Parse()
 
-	pointCache, err := cache.Open(*cacheOn, cache.FlagPassed("cache-dir"), *cacheDir, *cachePeer)
+	pointCache, err := cache.Open(*cacheOn, cache.FlagPassed("cache-dir"), *cacheDir, *cachePeer, *cacheMax)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var store *jobstore.Store
+	if *storeDir != "" {
+		store, err = jobstore.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
 	}
 	var remotes []string
 	for _, w := range strings.Split(*workers, ",") {
@@ -76,7 +96,13 @@ func main() {
 		Remotes:     remotes,
 		RemoteSlots: *remoteSlots,
 		Cache:       pointCache,
+		Store:       store,
 	})
+	if store != nil {
+		batches, replayed, reenqueued := srv.Recovery()
+		fmt.Printf("daosd: recovered %d batch(es) from %s: replayed %d completed point(s), re-enqueued %d\n",
+			batches, store.Dir(), replayed, reenqueued)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

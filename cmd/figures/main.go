@@ -50,6 +50,7 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "study seed (0 = testbed default)")
 		cacheOn   = flag.Bool("cache", false, "memoize sweep points (disk tier under ~/.daosim/cache unless -cache-dir overrides)")
 		cacheDir  = flag.String("cache-dir", "", "on-disk cache tier directory (implies -cache; explicitly empty = memory-only)")
+		cacheMax  = flag.Int64("cache-max-bytes", 0, "disk cache tier byte budget; least-recently-used entries are evicted above it (0 = unbounded)")
 		cachePeer = flag.String("cache-peer", "", "peer daosd URL whose cache joins the stack as a remote tier (enables caching)")
 		server    = flag.String("server", "", "run study sweeps through the daosd server at this address (host:port) instead of in-process")
 	)
@@ -68,8 +69,8 @@ func main() {
 		// its own -cache flags govern memoization; a local cache would
 		// never be consulted, so passing both is a contradiction worth
 		// refusing rather than silently ignoring.
-		if *cacheOn || cache.FlagPassed("cache-dir") || *cachePeer != "" {
-			log.Fatal("figures: -cache/-cache-dir/-cache-peer configure the in-process runner; with -server, caching is configured on daosd")
+		if *cacheOn || cache.FlagPassed("cache-dir") || *cacheMax != 0 || *cachePeer != "" {
+			log.Fatal("figures: -cache/-cache-dir/-cache-max-bytes/-cache-peer configure the in-process runner; with -server, caching is configured on daosd")
 		}
 		if *parallel != 0 {
 			// Not fatal: -ablations still runs its native-array points on
@@ -80,7 +81,7 @@ func main() {
 		opts.Runner = client
 	} else {
 		var err error
-		pointCache, err = cache.Open(*cacheOn, cache.FlagPassed("cache-dir"), *cacheDir, *cachePeer)
+		pointCache, err = cache.Open(*cacheOn, cache.FlagPassed("cache-dir"), *cacheDir, *cachePeer, *cacheMax)
 		if err != nil {
 			log.Fatal(err)
 		}

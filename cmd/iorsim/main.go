@@ -54,6 +54,7 @@ func main() {
 		seed       = flag.Uint64("seed", 0, "study seed (0 = default); every point, single or swept, runs on a seed derived from it so single runs match sweep rows")
 		cacheOn    = flag.Bool("cache", false, "memoize sweep points (sweeps only; disk tier under ~/.daosim/cache unless -cache-dir overrides)")
 		cacheDir   = flag.String("cache-dir", "", "on-disk cache tier directory (implies -cache; explicitly empty = memory-only)")
+		cacheMax   = flag.Int64("cache-max-bytes", 0, "disk cache tier byte budget; least-recently-used entries are evicted above it (0 = unbounded)")
 		cachePeer  = flag.String("cache-peer", "", "peer daosd URL whose cache joins the stack as a remote tier (enables caching)")
 	)
 	flag.Parse()
@@ -72,7 +73,7 @@ func main() {
 		if *verify || *random || *writeOnly || *readOnly || !*reorder {
 			log.Fatal("iorsim: -R, -z, -w, -r, and -C=false apply to single-point runs; a -nodes sweep measures both phases with task reorder on")
 		}
-		pointCache, err := cache.Open(*cacheOn, cache.FlagPassed("cache-dir"), *cacheDir, *cachePeer)
+		pointCache, err := cache.Open(*cacheOn, cache.FlagPassed("cache-dir"), *cacheDir, *cachePeer, *cacheMax)
 		if err != nil {
 			log.Fatal(err)
 		}

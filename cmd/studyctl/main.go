@@ -2,8 +2,14 @@
 // subcommand routes the paper's figure sweeps through the server — the
 // same grids cmd/figures runs in-process — streaming per-point progress as
 // results land and rendering the identical tables, claim checks, and CSV.
-// The stats subcommand snapshots the server's scheduler, fleet, and cache
-// counters, including per-worker up/down state on a coordinator.
+// The stats subcommand snapshots the server's scheduler, fleet, cache, and
+// durability counters, including per-worker up/down state on a coordinator.
+//
+// Submissions survive connection loss: the client retries transient
+// connect failures with bounded exponential backoff and, once the server
+// has assigned the batch an identity, resumes the result stream where it
+// left off — against a daosd running with -store-dir, that holds across a
+// server crash and restart.
 //
 //	studyctl submit -server 127.0.0.1:9464                 # both figures
 //	studyctl submit -server :9464 -quick -fig 1 -progress  # stream Fig. 1 points
@@ -24,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"daosim/internal/bench"
 	"daosim/internal/core"
@@ -92,6 +99,11 @@ func runSubmit(args []string, out io.Writer) error {
 	}
 
 	client := studysvc.NewClient(*server)
+	// Reconnects are part of normal operation against a durable or briefly
+	// unreachable server; narrate them so a resumed sweep is explainable.
+	client.OnRetry = func(attempt int, wait time.Duration, err error) {
+		fmt.Fprintf(os.Stderr, "studyctl: connection lost (%v); retry %d in %v\n", err, attempt, wait)
+	}
 	if *progress {
 		client.OnPoint = func(sp studysvc.StreamPoint) {
 			mark := ""
@@ -171,6 +183,13 @@ func runStats(args []string, out io.Writer) error {
 		// Stats.String carries its own "cache:" prefix (and the remote-tier
 		// counters when a shared tier is in play).
 		fmt.Fprintln(out, st.Cache.String())
+	}
+	if d := st.Durability; d != nil {
+		fmt.Fprintf(out, "durability: %d journaled batch(es), %d live; recovered %d batch(es) (%d points replayed, %d re-enqueued); %d resumed stream(s)\n",
+			d.JournaledBatches, d.LiveBatches, d.RecoveredBatches, d.ReplayedPoints, d.ReenqueuedPoints, d.ResumedStreams)
+		if d.JournalErrors > 0 {
+			fmt.Fprintf(out, "durability: %d journal error(s)\n", d.JournalErrors)
+		}
 	}
 	return nil
 }

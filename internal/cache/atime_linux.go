@@ -1,0 +1,19 @@
+//go:build linux
+
+package cache
+
+import (
+	"os"
+	"syscall"
+	"time"
+)
+
+// fileATime returns fi's last-access time. The disk tier's LRU eviction
+// ranks entries by it: Load touches atime explicitly (relatime mounts
+// defer read-driven updates), so "oldest atime" is "least recently hit".
+func fileATime(fi os.FileInfo) time.Time {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return time.Unix(st.Atim.Sec, st.Atim.Nsec)
+	}
+	return fi.ModTime()
+}

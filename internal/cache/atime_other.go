@@ -1,0 +1,15 @@
+//go:build !linux
+
+package cache
+
+import (
+	"os"
+	"time"
+)
+
+// fileATime falls back to the modification time where the stat access
+// time is not portably reachable. Load's explicit touch updates mtime
+// along with atime, so eviction order still tracks last use.
+func fileATime(fi os.FileInfo) time.Time {
+	return fi.ModTime()
+}

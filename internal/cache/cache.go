@@ -73,6 +73,10 @@ type Options struct {
 	MaxEntries int
 	// Dir, when non-empty, adds a disk tier rooted there.
 	Dir string
+	// MaxDiskBytes bounds the disk tier: once its entry files exceed this
+	// many bytes, stores evict the least-recently-used entries until the
+	// tier fits again. <= 0 (the default) means unbounded.
+	MaxDiskBytes int64
 	// Peer, when non-empty, adds a remote tier backed by the daosd at
 	// that address (host:port or an http:// URL). The remote tier sits
 	// below disk, so a point found on the peer hydrates both local tiers.
@@ -93,6 +97,7 @@ type Stats struct {
 	Misses      int64 // lookups no tier could answer
 	Stores      int64 // entries written
 	Evictions   int64 // memory-tier LRU evictions
+	DiskEvicts  int64 // disk-tier LRU file evictions (bounded tiers only)
 	Corrupt     int64 // undecodable entries (each counted once, then quarantined)
 	DiskErrs    int64 // disk tier load/store failures
 	RemoteErrs  int64 // remote tier failed exchanges (severed reads, refused puts)
@@ -119,6 +124,9 @@ func (s Stats) String() string {
 		out += fmt.Sprintf(" + %d remote", s.RemoteHits)
 	}
 	out += fmt.Sprintf(", %d stores, %d evictions, %d corrupt", s.Stores, s.Evictions, s.Corrupt)
+	if s.DiskEvicts > 0 {
+		out += fmt.Sprintf(", %d disk evictions", s.DiskEvicts)
+	}
 	if s.DiskErrs > 0 {
 		out += fmt.Sprintf(", %d disk write errors", s.DiskErrs)
 	}
@@ -135,6 +143,7 @@ type Cache struct {
 	mem    *memTier
 	tiers  []Tier // lower tiers, in lookup order
 	remote *remoteTier
+	disk   *diskTier
 	dir    string
 
 	mu    sync.Mutex // guards stats; tiers carry their own locks
@@ -148,10 +157,11 @@ func New(o Options) (*Cache, error) {
 	}
 	c := &Cache{mem: newMemTier(o.MaxEntries), dir: o.Dir}
 	if o.Dir != "" {
-		d, err := NewDiskTier(o.Dir)
+		d, err := NewBoundedDiskTier(o.Dir, o.MaxDiskBytes)
 		if err != nil {
 			return nil, err
 		}
+		c.disk = d.(*diskTier)
 		c.tiers = append(c.tiers, d)
 	}
 	if o.Peer != "" {
@@ -261,6 +271,9 @@ func (c *Cache) Stats() Stats {
 	s := c.stats
 	c.mu.Unlock()
 	s.Evictions = c.mem.evicted()
+	if c.disk != nil {
+		s.DiskEvicts = c.disk.evicted()
+	}
 	if c.remote != nil {
 		s.RemoteDowns = c.remote.downCount()
 	}

@@ -8,6 +8,9 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
+	"time"
 )
 
 // Entry record layout: an 8-byte magic, the payload fields in little-endian
@@ -83,18 +86,55 @@ func DecodeEntry(buf []byte) (Entry, error) {
 	}
 }
 
-// diskTier persists entries as one small checksummed file per key.
+// diskTier persists entries as one small checksummed file per key,
+// optionally bounded to max bytes with least-recently-used file
+// eviction (ranked by atime, which Load touches on every hit).
 type diskTier struct {
 	dir string
+	max int64 // byte budget; <= 0 means unbounded
+
+	mu        sync.Mutex
+	size      int64 // sum of resident .pt file sizes (bounded tiers only)
+	evictions int64
 }
 
 // NewDiskTier opens the on-disk tier rooted at dir, creating the directory
 // if missing.
-func NewDiskTier(dir string) (Tier, error) {
+func NewDiskTier(dir string) (Tier, error) { return NewBoundedDiskTier(dir, 0) }
+
+// NewBoundedDiskTier is NewDiskTier with a size budget: once the tier's
+// .pt files exceed maxBytes, stores evict the least-recently-used
+// entries (oldest access time first) until the tier fits again.
+// maxBytes <= 0 means unbounded. The budget is enforced per store, so
+// the tier can briefly hold one entry over it.
+func NewBoundedDiskTier(dir string, maxBytes int64) (Tier, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: disk tier: %w", err)
 	}
-	return &diskTier{dir: dir}, nil
+	d := &diskTier{dir: dir, max: maxBytes}
+	if d.max > 0 {
+		// Take the resident census once; stores keep it incremental.
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("cache: disk tier: %w", err)
+		}
+		for _, ent := range ents {
+			if filepath.Ext(ent.Name()) != ".pt" {
+				continue
+			}
+			if fi, err := ent.Info(); err == nil {
+				d.size += fi.Size()
+			}
+		}
+	}
+	return d, nil
+}
+
+// evicted returns the number of entry files evicted to hold the budget.
+func (d *diskTier) evicted() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.evictions
 }
 
 func (d *diskTier) Name() string { return "disk" }
@@ -123,17 +163,33 @@ func (d *diskTier) Load(k Key) (Entry, LoadResult) {
 		os.Remove(d.path(k)) // best-effort quarantine
 		return Entry{}, LoadCorrupt
 	}
+	if d.max > 0 {
+		// Touch the entry so LRU eviction sees this hit: relatime mounts
+		// defer read-driven atime updates, so rank by an explicit one
+		// (mtime too, for platforms where atime is unreadable).
+		now := time.Now()
+		os.Chtimes(d.path(k), now, now)
+	}
 	return e, LoadHit
 }
 
 // Store writes k atomically (temp file + rename), so a crashed or
-// concurrent writer can never leave a torn entry at the final path.
+// concurrent writer can never leave a torn entry at the final path. On
+// a bounded tier the store then evicts least-recently-used entries
+// until the tier fits its byte budget again.
 func (d *diskTier) Store(k Key, e Entry) error {
+	rec := EncodeEntry(e)
+	var replaced int64
+	if d.max > 0 {
+		if fi, err := os.Stat(d.path(k)); err == nil {
+			replaced = fi.Size()
+		}
+	}
 	tmp, err := os.CreateTemp(d.dir, "tmp-*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(EncodeEntry(e)); err != nil {
+	if _, err := tmp.Write(rec); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -146,5 +202,58 @@ func (d *diskTier) Store(k Key, e Entry) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if d.max > 0 {
+		d.mu.Lock()
+		d.size += int64(len(rec)) - replaced
+		if d.size > d.max {
+			d.evictLocked(k.String() + ".pt")
+		}
+		d.mu.Unlock()
+	}
 	return nil
+}
+
+// evictLocked removes least-recently-used .pt files (oldest access time
+// first) until the tier fits d.max, sparing keep — the entry whose
+// store triggered the eviction (evicting what was just written would
+// make the newest point the first casualty).
+func (d *diskTier) evictLocked(keep string) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	type candidate struct {
+		name  string
+		size  int64
+		atime time.Time
+	}
+	var cands []candidate
+	var resident int64
+	for _, ent := range ents {
+		if filepath.Ext(ent.Name()) != ".pt" {
+			continue
+		}
+		fi, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		resident += fi.Size()
+		if ent.Name() == keep {
+			continue
+		}
+		cands = append(cands, candidate{name: ent.Name(), size: fi.Size(), atime: fileATime(fi)})
+	}
+	// Trust the census over the incremental estimate (an external sweep
+	// may have removed files behind our back).
+	d.size = resident
+	sort.Slice(cands, func(i, j int) bool { return cands[i].atime.Before(cands[j].atime) })
+	for _, c := range cands {
+		if d.size <= d.max {
+			break
+		}
+		if os.Remove(filepath.Join(d.dir, c.name)) == nil {
+			d.size -= c.size
+			d.evictions++
+		}
+	}
 }

@@ -30,18 +30,19 @@ func FlagPassed(name string) bool {
 // backed by the daosd at that address — and by itself turns caching on
 // without a disk tier, which is the cache-less-coordinator shape: every
 // point the fleet completes is looked up on, and written back to, the
-// peer, with only the memory LRU in front. When the default disk tier is
-// wanted but the home directory cannot be resolved, Open returns an error
-// rather than silently degrading a requested persistent cache to a
-// process-lifetime one.
-func Open(enabled, dirSet bool, dir, peer string) (*Cache, error) {
+// peer, with only the memory LRU in front. maxDiskBytes (-cache-max-bytes)
+// bounds the disk tier; <= 0 leaves it unbounded. When the default disk
+// tier is wanted but the home directory cannot be resolved, Open returns
+// an error rather than silently degrading a requested persistent cache to
+// a process-lifetime one.
+func Open(enabled, dirSet bool, dir, peer string, maxDiskBytes int64) (*Cache, error) {
 	if dirSet && dir != "" {
 		enabled = true
 	}
 	if !enabled && peer == "" {
 		return nil, nil
 	}
-	o := Options{Peer: peer}
+	o := Options{Peer: peer, MaxDiskBytes: maxDiskBytes}
 	if enabled {
 		if !dirSet {
 			home, err := os.UserHomeDir()

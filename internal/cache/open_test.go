@@ -15,14 +15,14 @@ func TestOpen(t *testing.T) {
 	t.Setenv("HOME", home)
 
 	t.Run("off", func(t *testing.T) {
-		c, err := Open(false, false, "", "")
+		c, err := Open(false, false, "", "", 0)
 		if err != nil || c != nil {
 			t.Fatalf("cache without -cache: %v, %v", c, err)
 		}
 	})
 	t.Run("cache-dir implies cache", func(t *testing.T) {
 		dir := filepath.Join(t.TempDir(), "tier")
-		c, err := Open(false, true, dir, "")
+		c, err := Open(false, true, dir, "", 0)
 		if err != nil || c == nil {
 			t.Fatalf("Open(-cache-dir): %v, %v", c, err)
 		}
@@ -33,7 +33,7 @@ func TestOpen(t *testing.T) {
 		}
 	})
 	t.Run("explicitly empty dir is memory-only", func(t *testing.T) {
-		c, err := Open(true, true, "", "")
+		c, err := Open(true, true, "", "", 0)
 		if err != nil || c == nil {
 			t.Fatalf("Open(-cache -cache-dir \"\"): %v, %v", c, err)
 		}
@@ -43,7 +43,7 @@ func TestOpen(t *testing.T) {
 		}
 	})
 	t.Run("default dir", func(t *testing.T) {
-		c, err := Open(true, false, "", "")
+		c, err := Open(true, false, "", "", 0)
 		if err != nil || c == nil {
 			t.Fatalf("Open(-cache): %v, %v", c, err)
 		}
@@ -56,7 +56,7 @@ func TestOpen(t *testing.T) {
 	t.Run("peer alone enables a diskless cache", func(t *testing.T) {
 		home := t.TempDir()
 		t.Setenv("HOME", home)
-		c, err := Open(false, false, "", "127.0.0.1:0")
+		c, err := Open(false, false, "", "127.0.0.1:0", 0)
 		if err != nil || c == nil {
 			t.Fatalf("Open(-cache-peer): %v, %v", c, err)
 		}
@@ -70,7 +70,7 @@ func TestOpen(t *testing.T) {
 	})
 	t.Run("peer stacks below an explicit dir", func(t *testing.T) {
 		dir := filepath.Join(t.TempDir(), "tier")
-		c, err := Open(false, true, dir, "127.0.0.1:0")
+		c, err := Open(false, true, dir, "127.0.0.1:0", 0)
 		if err != nil || c == nil {
 			t.Fatalf("Open(-cache-dir -cache-peer): %v, %v", c, err)
 		}
@@ -85,7 +85,7 @@ func TestOpen(t *testing.T) {
 	})
 	t.Run("unresolvable home is an error", func(t *testing.T) {
 		t.Setenv("HOME", "")
-		if c, err := Open(true, false, "", ""); err == nil {
+		if c, err := Open(true, false, "", "", 0); err == nil {
 			t.Fatalf("Open with no home dir silently returned %v", c)
 		}
 	})

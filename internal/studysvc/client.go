@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"daosim/internal/core"
@@ -30,6 +32,21 @@ const (
 	// before scheduling any work, so a healthy peer answers within network
 	// latency regardless of sweep size.
 	DefaultHeaderTimeout = 30 * time.Second
+)
+
+// Default Submit retry policy: how long a client rides out a coordinator
+// restart. Eight attempts with doubling waits from 100ms capped at 2s is
+// ~7.5s of patience — comfortably over a daosd exec plus journal replay —
+// while a permanent failure (bad address, rejected batch) still reports
+// immediately because it is never classified retryable.
+const (
+	// DefaultRetryAttempts caps consecutive failed exchanges (connects
+	// plus severed streams that made no progress) before Submit gives up.
+	DefaultRetryAttempts = 8
+	// DefaultRetryBase is the first reconnect wait; it doubles per failed
+	// attempt up to DefaultRetryMax.
+	DefaultRetryBase = 100 * time.Millisecond
+	DefaultRetryMax  = 2 * time.Second
 )
 
 // newHTTPClient builds the default transport: bounded dial and
@@ -56,6 +73,20 @@ type Client struct {
 	// progress reporting for interactive callers. It runs on the stream
 	// reader goroutine and must not block.
 	OnPoint func(StreamPoint)
+	// OnRetry, when set, observes every Submit reconnect attempt before
+	// its backoff wait — interactive callers print it so a coordinator
+	// restart is visible, not a silent stall.
+	OnRetry func(attempt int, wait time.Duration, err error)
+	// RetryAttempts caps consecutive failed Submit exchanges; progress
+	// (any point received) resets the count. Zero means
+	// DefaultRetryAttempts; 1 disables retries entirely. Only Submit
+	// retries: SubmitJobs is the coordinator-to-worker leg, whose retry
+	// plane is the fleet scheduler, and Health/Stats are probes.
+	RetryAttempts int
+	// RetryBase and RetryMax shape the reconnect backoff (defaults
+	// DefaultRetryBase/DefaultRetryMax).
+	RetryBase time.Duration
+	RetryMax  time.Duration
 
 	base string
 
@@ -145,6 +176,16 @@ func (c *Client) RunAll(cfgs []core.Config) ([]*core.Study, error) {
 	return c.Submit(context.Background(), cfgs)
 }
 
+// statusError is a non-200 response: the one error class where the HTTP
+// code, not the transport, decides retryability (503 means draining or
+// restarting; everything else is a permanent rejection).
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
 // post opens one submission exchange and returns the committed stream.
 func (c *Client) post(ctx context.Context, path string, payload any) (io.ReadCloser, error) {
 	body, err := json.Marshal(payload)
@@ -167,10 +208,102 @@ func (c *Client) post(ctx context.Context, path string, payload any) (io.ReadClo
 	if resp.StatusCode != http.StatusOK {
 		diag, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
 		resp.Body.Close()
-		return nil, fmt.Errorf("studysvc: server rejected submit: %s: %s",
-			resp.Status, strings.TrimSpace(string(diag)))
+		return nil, &statusError{code: resp.StatusCode, msg: fmt.Sprintf(
+			"studysvc: server rejected submit: %s: %s",
+			resp.Status, strings.TrimSpace(string(diag)))}
 	}
 	return resp.Body, nil
+}
+
+// get opens a resume exchange (GET /v1/studies/{batch}?from=seq) and
+// returns the committed stream.
+func (c *Client) get(ctx context.Context, pathAndQuery string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+pathAndQuery, nil)
+	if err != nil {
+		return nil, fmt.Errorf("studysvc: build resume: %w", err)
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("studysvc: resume: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		diag, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		return nil, &statusError{code: resp.StatusCode, msg: fmt.Sprintf(
+			"studysvc: server rejected resume: %s: %s",
+			resp.Status, strings.TrimSpace(string(diag)))}
+	}
+	return resp.Body, nil
+}
+
+// transientErr classifies transport failures worth a reconnect: the
+// server not being there yet (refused, reset, timed out, EOF before the
+// response) — the shapes a restarting coordinator produces. Address
+// errors that no amount of waiting fixes (DNS name not found, malformed
+// URLs) and the caller's own cancellation are permanent.
+func transientErr(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var dns *net.DNSError
+	if errors.As(err, &dns) {
+		return dns.IsTimeout
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+func (c *Client) retryAttempts() int {
+	if c.RetryAttempts > 0 {
+		return c.RetryAttempts
+	}
+	return DefaultRetryAttempts
+}
+
+// backoff returns the wait before retry attempt n (1-based): RetryBase
+// doubling per attempt, capped at RetryMax.
+func (c *Client) backoff(n int) time.Duration {
+	base, maxWait := c.RetryBase, c.RetryMax
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	if maxWait <= 0 {
+		maxWait = DefaultRetryMax
+	}
+	wait := base
+	for i := 1; i < n && wait < maxWait; i++ {
+		wait *= 2
+	}
+	return min(wait, maxWait)
+}
+
+// shouldRetry decides whether a failed Submit exchange is worth another
+// attempt. A durable batch (the server echoed a batch id) can always be
+// re-attached idempotently; an ephemeral stream can only be safely
+// re-POSTed while nothing has been received, and only for transient
+// transport failures. Non-200s retry only on 503 (draining/restarting).
+func (c *Client) shouldRetry(ctx context.Context, err error, batch string, received int) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code == http.StatusServiceUnavailable
+	}
+	if batch != "" {
+		return true
+	}
+	return received == 0 && transientErr(err)
 }
 
 // consumePoints drains n point lines plus the trailer from a committed
@@ -209,14 +342,56 @@ func consumePoints(dec *json.Decoder, n int, fill func(StreamPoint) error) (Trai
 	return t, nil
 }
 
+// exchange performs one Submit attempt: the initial POST while no batch
+// id is known, or a GET resume from the last received offset once the
+// server has echoed one. It consumes the stream through fill and returns
+// the trailer; any failure leaves *batch and the fill state ready for
+// the caller's retry decision.
+func (c *Client) exchange(ctx context.Context, cfgs []core.Config, batchID string, batch *string, lastSeq, received int, fill func(StreamPoint) error) (Trailer, error) {
+	var body io.ReadCloser
+	var err error
+	if *batch == "" {
+		body, err = c.post(ctx, PathSubmit, SubmitRequest{Configs: cfgs, Batch: batchID})
+	} else {
+		body, err = c.get(ctx, fmt.Sprintf("%s/%s?from=%d", PathSubmit, *batch, lastSeq))
+	}
+	if err != nil {
+		return Trailer{}, err
+	}
+	defer body.Close()
+	dec := json.NewDecoder(body)
+	var h Header
+	if err := dec.Decode(&h); err != nil {
+		return Trailer{}, fmt.Errorf("studysvc: read stream header: %w", err)
+	}
+	_, jobs := core.Decompose(cfgs)
+	if h.Points != len(jobs) || h.Studies != len(cfgs) {
+		return Trailer{}, fmt.Errorf("studysvc: server decomposed %d points / %d studies, client expected %d / %d (client/server version skew?)",
+			h.Points, h.Studies, len(jobs), len(cfgs))
+	}
+	if h.Batch != "" {
+		*batch = h.Batch
+	}
+	return consumePoints(dec, len(jobs)-received, fill)
+}
+
 // Submit posts the batch and consumes the result stream. The returned
 // studies are assembled from the client's own core.Decompose of cfgs —
 // identical to the server's by construction — with each streamed point
 // dropped into its slot, so Table and CSV render byte-identically to an
 // in-process run. A nil error means the stream completed with a trailer
-// and no point carried a failure; a stream severed mid-batch (server
-// crash, connection reset, missing trailer) returns nil studies and an
-// error naming how many points arrived.
+// and no point carried a failure.
+//
+// Submit rides out a restarting or briefly unreachable coordinator:
+// transient connect failures are retried with capped exponential backoff
+// (RetryAttempts/RetryBase/RetryMax), and when the server is durable
+// (its Header carries a batch id) a severed stream is resumed from the
+// last received sequence offset instead of being an error — the points
+// already received are kept and only the missing tail is re-fetched, so
+// the reassembled studies are identical to an uninterrupted exchange.
+// Against a storeless server a stream severed mid-batch (server crash,
+// connection reset, missing trailer) remains a permanent error naming
+// how many points arrived.
 func (c *Client) Submit(ctx context.Context, cfgs []core.Config) ([]*core.Study, error) {
 	if len(cfgs) == 0 {
 		// Mirror core.Runner.RunAll(nil) without a round trip; the server
@@ -225,30 +400,23 @@ func (c *Client) Submit(ctx context.Context, cfgs []core.Config) ([]*core.Study,
 		return studies, nil
 	}
 	start := time.Now()
-	body, err := c.post(ctx, PathSubmit, SubmitRequest{Configs: cfgs})
-	if err != nil {
-		return nil, err
-	}
-	defer body.Close()
-
 	studies, jobs := core.Decompose(cfgs)
-	dec := json.NewDecoder(body)
 
-	var h Header
-	if err := dec.Decode(&h); err != nil {
-		return nil, fmt.Errorf("studysvc: read stream header: %w", err)
-	}
-	if h.Points != len(jobs) || h.Studies != len(cfgs) {
-		return nil, fmt.Errorf("studysvc: server decomposed %d points / %d studies, client expected %d / %d (client/server version skew?)",
-			h.Points, h.Studies, len(jobs), len(cfgs))
-	}
-
+	var (
+		batch    string // durable batch id echoed by the server's Header
+		lastSeq  int    // highest delivery offset received (the resume cursor)
+		received int
+	)
+	// The client picks the batch id so a connection lost before the
+	// Header arrived can be re-POSTed idempotently: the server re-attaches
+	// to the batch it already opened instead of scheduling a duplicate.
+	batchID := newBatchID()
 	filled := make([]bool, len(jobs))
 	slot := make(map[[3]int]int, len(jobs))
 	for i, j := range jobs {
 		slot[[3]int{j.Study, j.Series, j.Index}] = i
 	}
-	t, err := consumePoints(dec, len(jobs), func(sp StreamPoint) error {
+	fill := func(sp StreamPoint) error {
 		i, ok := slot[[3]int{sp.Study, sp.Series, sp.Index}]
 		if !ok {
 			return fmt.Errorf("studysvc: stream carried a point outside the batch grid (study=%d series=%d index=%d)",
@@ -259,14 +427,44 @@ func (c *Client) Submit(ctx context.Context, cfgs []core.Config) ([]*core.Study,
 				sp.Study, sp.Series, sp.Index)
 		}
 		filled[i] = true
+		received++
+		if sp.Seq > lastSeq {
+			lastSeq = sp.Seq
+		}
 		studies[sp.Study].Series[sp.Series].Points[sp.Index] = sp.toPoint()
 		if c.OnPoint != nil {
 			c.OnPoint(sp)
 		}
 		return nil
-	})
-	if err != nil {
-		return nil, err
+	}
+
+	var t Trailer
+	attempt := 0
+	for {
+		before := received
+		tr, err := c.exchange(ctx, cfgs, batchID, &batch, lastSeq, received, fill)
+		if err == nil {
+			t = tr
+			break
+		}
+		if received > before {
+			// Progress resets the failure budget: a sweep that outlives
+			// several coordinator restarts still completes.
+			attempt = 0
+		}
+		attempt++
+		if attempt >= c.retryAttempts() || !c.shouldRetry(ctx, err, batch, received) {
+			return nil, err
+		}
+		wait := c.backoff(attempt)
+		if c.OnRetry != nil {
+			c.OnRetry(attempt, wait, err)
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, err
+		}
 	}
 	c.mu.Lock()
 	c.ledger.Requests++

@@ -410,6 +410,9 @@ func TestHungPeerTimesOut(t *testing.T) {
 
 	client := NewClient(ln.Addr().String())
 	client.HTTP = newHTTPClient(time.Second, 100*time.Millisecond)
+	// Timeouts are transient (and would be retried with backoff); this
+	// test pins that the timeout itself fires, so spend only one attempt.
+	client.RetryAttempts = 1
 
 	start := time.Now()
 	if err := client.Health(context.Background()); err == nil {

@@ -28,6 +28,29 @@ import (
 // error signal for mid-flight failure. A server that is draining rejects
 // new submissions with a 503 before any stream byte is written.
 //
+// # Durable batches and resume
+//
+// On a server with a job store (daosd -store-dir) the exchange gains a
+// batch identity. The client names its submission ("batch" in the POST
+// body; the server generates an id when absent), the Header echoes it,
+// and every StreamPoint carries a per-batch delivery sequence number
+// ("seq", 1-based, dense in delivery order). A severed stream is then
+// resumable Last-Event-Id style:
+//
+//	GET /v1/studies/{batch}?from=S
+//
+// re-attaches to the batch and streams — identical framing — every
+// point with seq > S followed by the trailer, waiting for points that
+// have not completed yet. Because completed points are journaled, this
+// works across a server crash: the restarted daosd replays its journal,
+// re-enqueues only the points that never finished, and serves the rest
+// from the store. Resuming an unknown batch (no journal, or already
+// fully delivered and retired) is a 404, which clients treat as
+// permanent. Re-POSTing a batch id the server already knows is
+// idempotent: it re-attaches from seq 0 instead of re-scheduling.
+// Storeless servers omit "batch" from the Header; clients fall back to
+// the truncation-is-an-error contract above.
+//
 // A second submission form, POST /v1/points, carries pre-decomposed
 // point jobs — explicit seeds and slot coordinates instead of configs —
 // and answers with the identical NDJSON framing. It is the
@@ -57,6 +80,11 @@ const (
 // core.Runner.RunAll.
 type SubmitRequest struct {
 	Configs []core.Config `json:"configs"`
+	// Batch optionally names the submission for durable servers. A client
+	// that picks its own id can re-POST the identical batch after losing
+	// the connection before the Header arrived, and the server will
+	// re-attach instead of re-scheduling. Storeless servers ignore it.
+	Batch string `json:"batch,omitempty"`
 }
 
 // PointsRequest is the body of a PathSubmitPoints POST: fully-specified
@@ -76,6 +104,10 @@ type Header struct {
 	Points int `json:"points"`
 	// Studies is the number of studies in the batch.
 	Studies int `json:"studies"`
+	// Batch is the durable batch id, echoed (or generated) by servers
+	// with a job store. Empty on a storeless server — the client's signal
+	// that the stream cannot be resumed.
+	Batch string `json:"batch,omitempty"`
 }
 
 // StreamPoint is one completed sweep point, streamed as soon as it lands.
@@ -87,6 +119,11 @@ type StreamPoint struct {
 	Study  int `json:"study"`
 	Series int `json:"series"`
 	Index  int `json:"index"`
+	// Seq is the point's 1-based position in the batch's delivery order —
+	// the resume cursor. A client that saw seq S re-attaches with ?from=S
+	// and receives exactly the points it missed. Zero (omitted) only in
+	// hand-built test streams.
+	Seq int `json:"seq,omitempty"`
 
 	Nodes     int     `json:"nodes"`
 	Ranks     int     `json:"ranks"`

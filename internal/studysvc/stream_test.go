@@ -305,6 +305,10 @@ func TestDegenerateBatchesMatchRunner(t *testing.T) {
 // missing studies — the regression a -server typo used to hit).
 func TestUnreachableServerIsAnError(t *testing.T) {
 	client := NewClient("127.0.0.1:1")
+	// A refused connect is transient (the server could be restarting), so
+	// disable the reconnect budget: this test pins the terminal error
+	// shape, TestSubmitRetriesConnectRefused pins the retry behavior.
+	client.RetryAttempts = 1
 	st, err := client.Run(smallConfig([]core.Variant{{Label: "daos S2", API: ior.APIDFS}}))
 	if err == nil || st != nil {
 		t.Fatalf("Run against a dead server: study=%v err=%v, want nil study and an error", st, err)

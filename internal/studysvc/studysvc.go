@@ -79,6 +79,16 @@
 // of completed points, keyed identically on every machine. The endpoints
 // serve local tiers exclusively, so peers pointing at each other can never
 // turn one lookup into a forwarding loop.
+//
+// # Durable submissions
+//
+// With Config.Store set (daosd -store-dir), PathSubmit batches are
+// journaled and their streams resumable: jobs run under the server's
+// lifetime rather than the request's, completed points are appended to
+// the job store before they are streamed, and a client that lost its
+// connection — or whose server was kill -9ed and restarted — re-attaches
+// with GET /v1/studies/{batch}?from=seq and receives exactly the points
+// it missed. See durable.go and the protocol comment for the lifecycle.
 package studysvc
 
 import (
@@ -94,6 +104,7 @@ import (
 
 	"daosim/internal/cache"
 	"daosim/internal/core"
+	"daosim/internal/jobstore"
 )
 
 // Config assembles a Server.
@@ -125,6 +136,12 @@ type Config struct {
 	ProbeMax  time.Duration
 	// Cache, when non-nil, memoizes completed points across submissions.
 	Cache *cache.Cache
+	// Store, when non-nil, journals every PathSubmit batch and its
+	// completed points, making submissions durable across restarts and
+	// streams resumable (see durable.go and the protocol comment). The
+	// server replays the store's recovered batches at startup; the caller
+	// owns opening and closing the store itself.
+	Store *jobstore.Store
 }
 
 // task is one scheduled point job plus the submission it reports to.
@@ -164,6 +181,15 @@ type Server struct {
 	// between cache lookup and result delivery.
 	flightMu sync.Mutex
 	flights  map[cache.Key]*flight
+
+	// Durable-batch state (Config.Store set; see durable.go).
+	store       *jobstore.Store
+	batchMu     sync.Mutex
+	batches     map[string]*batchState
+	journaled   atomic.Int64
+	resumed     atomic.Int64
+	journalErrs atomic.Int64
+	recovery    DurabilityStats // last-startup recovery counters, static after New
 
 	draining  atomic.Bool
 	retries   atomic.Int64 // jobs re-dispatched after a worker failure
@@ -238,6 +264,7 @@ func New(cfg Config) *Server {
 		m.rng = probeRNG(m.name)
 	}
 	s.mux.HandleFunc("POST "+PathSubmit, s.handleSubmit)
+	s.mux.HandleFunc("GET "+PathSubmit+"/{batch}", s.handleResume)
 	s.mux.HandleFunc("POST "+PathSubmitPoints, s.handleSubmitPoints)
 	s.mux.HandleFunc("GET "+PathHealth, s.handleHealth)
 	s.mux.HandleFunc("GET "+PathStats, s.handleStats)
@@ -247,7 +274,21 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.memberLoop(m)
 	}
+	if cfg.Store != nil {
+		s.store = cfg.Store
+		s.batches = make(map[string]*batchState)
+		// The pool is running; recovered batches schedule through it like
+		// fresh submissions, minus their already-journaled points.
+		s.recoverBatches()
+	}
 	return s
+}
+
+// Recovery reports the startup journal-replay counters (zero without a
+// job store): unfinished batches found, points served from the store,
+// and points re-enqueued for execution.
+func (s *Server) Recovery() (batches, replayed, reenqueued int) {
+	return s.recovery.RecoveredBatches, s.recovery.ReplayedPoints, s.recovery.ReenqueuedPoints
 }
 
 // Workers returns the pool width: the total number of execution slots,
@@ -483,6 +524,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "studysvc: empty batch", http.StatusBadRequest)
 		return
 	}
+	if s.store != nil {
+		if s.draining.Load() {
+			http.Error(w, "studysvc: server draining", http.StatusServiceUnavailable)
+			return
+		}
+		id := req.Batch
+		if id == "" {
+			id = newBatchID()
+		}
+		// openBatch is idempotent on the id: a client re-POSTing after a
+		// lost connection re-attaches to the running batch from seq 0.
+		b, _ := s.openBatch(id, req.Configs)
+		s.serveBatch(w, r, b, 0)
+		return
+	}
 	// A batch that decomposes to zero points (e.g. a config with no
 	// variants) streams normally — header then trailer — matching
 	// core.Runner.RunAll, which returns such studies with empty series.
@@ -507,6 +563,68 @@ func (s *Server) handleSubmitPoints(w http.ResponseWriter, r *http.Request) {
 		studies[j.Study] = true
 	}
 	s.stream(w, r, req.Jobs, len(studies))
+}
+
+// enqueue schedules a batch's jobs: cache hits are served inline, the
+// rest go to the pool queue, with single-flight leadership when a cache
+// is configured. skip (may be nil) marks positions already satisfied —
+// a recovered batch's journaled points. The durable flag selects the
+// abandonment semantics at shutdown: an ephemeral submission fabricates
+// loud "abandoned" failure points so its stream accounts for every job,
+// while a durable batch simply stops — its unscheduled jobs are exactly
+// what a restart re-enqueues from the journal, and fabricating failures
+// would journal them as results.
+func (s *Server) enqueue(ctx context.Context, jobs []core.PointJob, skip []bool, retried *atomic.Int64, out chan<- StreamPoint, durable bool) {
+	for i, j := range jobs {
+		if skip != nil && skip[i] {
+			continue
+		}
+		t := task{ctx: ctx, job: j, retries: retried, out: out}
+		if s.cache == nil {
+			// No cache, no dedup contract: every job dispatches.
+			select {
+			case s.queue <- t:
+			case <-ctx.Done():
+				return
+			case <-s.quit:
+				return
+			}
+			continue
+		}
+		t.key = j.Key()
+		if !s.lead(t) {
+			// The key is already in flight (a duplicate in this batch,
+			// or a concurrent submission's); the leader's result will
+			// be replayed here.
+			continue
+		}
+		// The leader holds the flight across the cache lookup, so
+		// concurrent lookers-up of one key cost one lookup — which for
+		// a remote tier means one network exchange, not a stampede.
+		if e, ok := s.cache.Get(t.key); ok {
+			s.finish(t, t.job.FromEntry(e), true)
+			continue
+		}
+		select {
+		case s.queue <- t:
+		case <-ctx.Done():
+			if durable {
+				return
+			}
+			// This flight may have collected waiters from other live
+			// submissions; hand it to one of them rather than leaking it.
+			s.finishCanceled(t)
+			return
+		case <-s.quit:
+			if durable {
+				return
+			}
+			pt := canceledPoint(t.job)
+			pt.Err = "studysvc: server draining; queued point abandoned"
+			s.finish(t, pt, false)
+			return
+		}
+	}
 }
 
 // stream is the scheduling core shared by both submission forms: it commits
@@ -536,59 +654,20 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, jobs []core.Poin
 	flush()
 
 	// The result channel is buffered to the whole batch so pool workers and
-	// the cache-lookup goroutine below can always deliver without blocking,
-	// even after this handler has given up on the client.
+	// the enqueue goroutine can always deliver without blocking, even after
+	// this handler has given up on the client.
 	results := make(chan StreamPoint, len(jobs))
 	var retried atomic.Int64
-	go func() {
-		for _, j := range jobs {
-			t := task{ctx: ctx, job: j, retries: &retried, out: results}
-			if s.cache == nil {
-				// No cache, no dedup contract: every job dispatches.
-				select {
-				case s.queue <- t:
-				case <-ctx.Done():
-					return
-				case <-s.quit:
-					return
-				}
-				continue
-			}
-			t.key = j.Key()
-			if !s.lead(t) {
-				// The key is already in flight (a duplicate in this batch,
-				// or a concurrent submission's); the leader's result will
-				// be replayed here.
-				continue
-			}
-			// The leader holds the flight across the cache lookup, so
-			// concurrent lookers-up of one key cost one lookup — which for
-			// a remote tier means one network exchange, not a stampede.
-			if e, ok := s.cache.Get(t.key); ok {
-				s.finish(t, t.job.FromEntry(e), true)
-				continue
-			}
-			select {
-			case s.queue <- t:
-			case <-ctx.Done():
-				// This flight may have collected waiters from other live
-				// submissions; hand it to one of them rather than leaking it.
-				s.finishCanceled(t)
-				return
-			case <-s.quit:
-				pt := canceledPoint(t.job)
-				pt.Err = "studysvc: server draining; queued point abandoned"
-				s.finish(t, pt, false)
-				return
-			}
-		}
-	}()
+	go s.enqueue(ctx, jobs, nil, &retried, results, false)
 
 	var t Trailer
 	t.CacheEnabled = s.cache != nil
 	for seen := 0; seen < len(jobs); seen++ {
 		select {
 		case sp := <-results:
+			// Delivery order is the sequence axis even on an ephemeral
+			// stream; only durable batches can actually be resumed from it.
+			sp.Seq = seen + 1
 			if sp.CacheHit {
 				t.CacheHits++
 			} else {
@@ -637,6 +716,9 @@ type ServerStats struct {
 	Retries int64          `json:"retries"`
 	Fleet   []MemberStatus `json:"fleet,omitempty"`
 	Cache   *cache.Stats   `json:"cache,omitempty"`
+	// Durability is present on servers running with a job store: journal
+	// and recovery counters (see DurabilityStats).
+	Durability *DurabilityStats `json:"durability,omitempty"`
 }
 
 // handleStats implements PathStats.
@@ -646,6 +728,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st := s.cache.Stats()
 		reply.Cache = &st
 	}
+	reply.Durability = s.durabilityStats()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(reply)
 }
